@@ -1,0 +1,12 @@
+"""Benchmark harness configuration.
+
+Every benchmark here regenerates one artifact of the paper (see
+DESIGN.md §4 and EXPERIMENTS.md) and *asserts the paper's shape* —
+who wins, who blocks, who violates — on top of timing the run.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to see the regenerated tables.
+"""

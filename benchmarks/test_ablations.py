@@ -1,0 +1,46 @@
+"""Ablation benchmarks (DESIGN.md §6 — D1 and D4-extended).
+
+* pairing: the paper pairs CP1 with termination rule 1 and CP2 with
+  rule 2.  The adversarial interleaving here shows the pairing is
+  load-bearing: CP2's early commit (r-of-some in PC) is only safe
+  against rule 2's w-of-every abort threshold — crossing it with
+  rule 1 terminates inconsistently.
+* timeout: shrinking every protocol window below the true delay bound
+  (a wrong estimate of T) causes spurious timeouts but zero safety
+  violations — timing affects liveness only.
+"""
+
+from repro.experiments.ablations import pairing_ablation, timeout_ablation
+
+
+def test_pairing_ablation(benchmark):
+    results = benchmark.pedantic(pairing_ablation, rounds=1, iterations=1)
+    print()
+    for r in results:
+        print(
+            f"{r.commit_protocol} + {r.termination_rule:<18} -> "
+            f"{r.outcome:<8} atomic={r.atomic}"
+        )
+    by_pair = {(r.commit_protocol, r.termination_rule): r for r in results}
+    # the paper's pairings are safe
+    assert by_pair[("qtp1", "qtp-termination-1")].atomic
+    assert by_pair[("qtp2", "qtp-termination-2")].atomic
+    # the conservative cross (CP1's stronger quorum vs rule 2) is safe too
+    assert by_pair[("qtp1", "qtp-termination-2")].atomic
+    # ... but CP2's weak commit quorum against rule 1's weak abort
+    # threshold is NOT — exactly why the paper pairs them as it does
+    assert not by_pair[("qtp2", "qtp-termination-1")].atomic
+
+
+def test_timeout_ablation(benchmark):
+    rows = benchmark.pedantic(
+        timeout_ablation, kwargs={"runs": 15}, rounds=1, iterations=1
+    )
+    print()
+    for row in rows:
+        print(
+            f"T-estimate x{row.timeout_scale:<5} violations={row.violations} "
+            f"mean termination attempts={row.mean_term_attempts:.2f}"
+        )
+    for row in rows:
+        assert row.violations == 0  # safety is timing-independent

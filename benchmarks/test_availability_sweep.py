@@ -1,0 +1,39 @@
+"""E11 — the §5 headline claim, measured.
+
+Across identical random (placement, transaction, fault) samples, the
+paper's protocols keep more data accessible after failures than
+Skeen's site-quorum protocol, without 3PC's atomicity violations.
+"""
+
+from repro.experiments.sweeps import availability_sweep
+
+RUNS = 40
+
+
+def test_availability_sweep(benchmark):
+    rows = benchmark.pedantic(
+        availability_sweep, kwargs={"runs": RUNS}, rounds=1, iterations=1
+    )
+    print()
+    for row in rows:
+        print(row.format_row())
+    by_name = {row.protocol: row for row in rows}
+
+    # headline: the paper's protocol 1 keeps more writeset data readable
+    # than the site-quorum protocol it improves on — against both Skeen
+    # configurations (per-transaction majority quorums, and the paper's
+    # installation-pinned Example-1 quorums)
+    assert by_name["qtp1"].readable_fraction > by_name["skq"].readable_fraction
+    assert by_name["qtp1"].readable_fraction > by_name["skq-pinned"].readable_fraction
+    assert by_name["qtp2"].readable_fraction > by_name["skq-pinned"].readable_fraction
+
+    # 3PC "wins" availability only by giving up atomicity
+    assert by_name["3pc"].violation_runs > 0
+
+    # the safe protocols never violate
+    for name in ("2pc", "skq", "skq-pinned", "qtp1", "qtp2"):
+        assert by_name[name].violation_runs == 0
+
+    # Skeen's protocols block in at least as many runs as qtp1
+    assert by_name["skq"].blocked_runs >= by_name["qtp1"].blocked_runs
+    assert by_name["skq-pinned"].blocked_runs >= by_name["qtp1"].blocked_runs

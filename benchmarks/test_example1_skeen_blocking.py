@@ -1,0 +1,20 @@
+"""E3 — Example 1 / Fig. 3: Skeen's protocol [16] blocks every partition.
+
+The paper: with Vc=5, Va=4 over 8 one-vote sites and the partitioning
+G1={1,2,3}, G2={4,5}, G3={6,7,8}, no partition reaches either quorum;
+TR blocks everywhere; x and y are inaccessible everywhere *even
+though* G1 holds a read quorum of x and G3 a write quorum of y.
+"""
+
+from repro.experiments.examples import run_example1
+
+
+def test_example1_all_partitions_block(benchmark):
+    verdict = benchmark(run_example1)
+    print("\n" + verdict.availability_table)
+    assert verdict.matches_paper
+    assert verdict.outcome == "blocked"
+    assert verdict.blocked_in_all_partitions
+    # the paper's punchline: votes are there, access is not
+    assert not verdict.x_readable_in_g1
+    assert not verdict.y_writable_in_g3

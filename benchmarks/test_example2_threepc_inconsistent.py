@@ -1,0 +1,20 @@
+"""E8 — Example 2: 3PC termination is inconsistent under partitioning.
+
+Same Fig. 3 scenario under 3PC + Skeen's site-failure termination:
+G2 (which saw the PREPARE) commits, G1 and G3 abort — an atomicity
+violation the harness must detect.
+"""
+
+from repro.experiments.examples import run_example2
+
+
+def test_example2_mixed_termination(benchmark):
+    verdict = benchmark(run_example2)
+    print(
+        f"\n3PC termination: committed={verdict.committed_sites} "
+        f"aborted={verdict.aborted_sites}"
+    )
+    assert verdict.matches_paper
+    assert verdict.outcome == "mixed"
+    assert verdict.g2_committed
+    assert verdict.g1_g3_aborted

@@ -1,0 +1,26 @@
+"""E7 — Example 3 / Fig. 7: two coordinators and the PC/PA ignore rules.
+
+Ablation D2: the same healed-partition, lost-messages race is run with
+the ignore rules enforced (paper's protocol — consistent) and relaxed
+(the counterexample — G2 commits while G1 aborts).
+"""
+
+from repro.experiments.examples import run_example3
+
+
+def test_example3_broken_variant_inconsistent(benchmark):
+    verdict = benchmark.pedantic(run_example3, args=(False,), rounds=3, iterations=1)
+    print(f"\nrelaxed rules: outcome={verdict.outcome} atomic={verdict.atomic}")
+    assert verdict.matches_paper
+    assert not verdict.atomic
+
+
+def test_example3_enforced_variant_consistent(benchmark):
+    verdict = benchmark.pedantic(run_example3, args=(True,), rounds=3, iterations=1)
+    print(
+        f"\nenforced rules: outcome={verdict.outcome} atomic={verdict.atomic} "
+        f"(prepare messages ignored: {verdict.ignored_messages})"
+    )
+    assert verdict.matches_paper
+    assert verdict.atomic
+    assert verdict.ignored_messages >= 1

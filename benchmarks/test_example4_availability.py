@@ -1,0 +1,26 @@
+"""E4 — Example 4: termination protocol 1 restores data availability.
+
+Same Fig. 3 failure as Example 1, but under the paper's protocol:
+TR aborts in G1 and G3; x becomes readable in G1, y updatable in G3;
+G2 stays blocked (no quorum either way) — strictly better than
+Example 1's everything-blocked outcome.
+"""
+
+from repro.experiments.examples import run_example1, run_example4
+
+
+def test_example4_availability_restored(benchmark):
+    verdict = benchmark(run_example4)
+    print("\n" + verdict.availability_table)
+    assert verdict.matches_paper
+    assert verdict.g1_aborted and verdict.g3_aborted and verdict.g2_blocked
+    assert verdict.x_readable_in_g1
+    assert verdict.y_writable_in_g3
+
+
+def test_example4_beats_example1():
+    """The head-to-head the paper's §3.1.1 closes with."""
+    skeen = run_example1()
+    qtp = run_example4()
+    assert not skeen.x_readable_in_g1 and qtp.x_readable_in_g1
+    assert not skeen.y_writable_in_g3 and qtp.y_writable_in_g3

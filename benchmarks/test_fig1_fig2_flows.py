@@ -1,0 +1,40 @@
+"""E1 + E2 — Fig. 1 (2PC) and Fig. 2 (3PC) message flows.
+
+Regenerates the message histogram and phase count of a failure-free
+commit and asserts the structural differences the figures show: 3PC
+adds the prepare/ack round (one extra phase, 2n extra messages).
+"""
+
+from repro.experiments.flows import format_flow, measure_commit
+
+N = 5
+
+
+def test_fig1_twopc_flow(benchmark):
+    metrics = benchmark(measure_commit, "2pc", N)
+    print("\n" + format_flow(metrics))
+    assert metrics.outcome == "commit"
+    # Fig. 1: vote-req, vote, decision = 3n messages
+    assert metrics.messages["2pc.vote-req"] == N
+    assert metrics.messages["2pc.vote"] == N
+    assert metrics.messages["2pc.commit"] == N
+    assert "2pc.prepare" not in metrics.messages
+    assert metrics.total_messages == 3 * N
+
+
+def test_fig2_threepc_flow(benchmark):
+    metrics = benchmark(measure_commit, "3pc", N)
+    print("\n" + format_flow(metrics))
+    assert metrics.outcome == "commit"
+    # Fig. 2: vote-req, vote, prepare, pc-ack, commit = 5n messages
+    assert metrics.messages["3pc.prepare"] == N
+    assert metrics.messages["3pc.ack"] == N
+    assert metrics.total_messages == 5 * N
+
+
+def test_fig2_costs_one_extra_round(benchmark):
+    two = measure_commit("2pc", N)
+    three = benchmark(measure_commit, "3pc", N)
+    # the buffer state costs exactly one round trip (2T) of latency
+    assert three.decision_time - two.decision_time == 2.0
+    assert three.total_messages - two.total_messages == 2 * N

@@ -1,0 +1,25 @@
+"""E13 — §3.1 property (3): the termination protocol is reenterable.
+
+Waves of re-partitioning strike *during* termination; after the final
+heal every transaction must have terminated consistently, and the
+trace must show multiple termination attempts (the re-entry actually
+happened).
+"""
+
+import pytest
+
+from repro.experiments.sweeps import reenterability_storm
+
+
+@pytest.mark.parametrize("protocol", ["qtp1", "qtp2"])
+def test_reenterability_storm(benchmark, protocol):
+    result = benchmark.pedantic(
+        reenterability_storm,
+        kwargs={"protocol": protocol, "runs": 10, "waves": 3},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n" + result.format_row())
+    assert result.all_consistent
+    assert result.terminated_runs == result.runs
+    assert result.total_term_attempts > result.runs  # re-entry exercised

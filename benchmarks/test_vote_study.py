@@ -1,0 +1,39 @@
+"""E19 (extension) — vote assignment policies under the paper's protocol.
+
+Gifford vote assignments shape what the termination protocol can save:
+read-one maximizes post-failure readability but can essentially never
+commit or write after a fault (w = v); uniform majority balances both;
+weighting a primary concentrates the item's fate on one site — and in
+these scenarios the crashed coordinator *is* that site, so nearly
+everything is lost with it.
+"""
+
+from repro.experiments.vote_study import vote_assignment_study
+
+
+def test_vote_assignment_study(benchmark):
+    rows = benchmark.pedantic(
+        vote_assignment_study, kwargs={"runs": 30}, rounds=1, iterations=1
+    )
+    print()
+    for row in rows:
+        print(row.format_row())
+    by_name = {row.policy: row for row in rows}
+
+    # read-one reads best, writes worst
+    assert (
+        by_name["read-one"].readable_fraction
+        > by_name["uniform-majority"].readable_fraction
+    )
+    assert by_name["read-one"].writable_fraction == 0.0
+    assert by_name["read-one"].committed_runs <= by_name["uniform-majority"].committed_runs
+
+    # a coordinator-located primary drags the item down with it
+    assert (
+        by_name["primary-weighted"].readable_fraction
+        < by_name["uniform-majority"].readable_fraction
+    )
+
+    # safety is policy-independent
+    for row in rows:
+        assert row.violations == 0

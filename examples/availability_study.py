@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The quantitative study: availability, blocking and latency.
+
+Regenerates the library's three comparison tables (experiments E11 and
+E12 plus the Fig. 4 analysis of E5) at study scale.  This is the
+script behind EXPERIMENTS.md's measured numbers.
+
+Run:  python examples/availability_study.py [--runs N]
+"""
+
+import argparse
+
+from repro.experiments.figures import run_decision_matrix, run_fig4
+from repro.experiments.flows import latency_sweep
+from repro.experiments.sweeps import availability_sweep
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=100, help="samples per protocol")
+    args = parser.parse_args()
+
+    print("=" * 72)
+    print(f"E11  post-failure availability over {args.runs} random fault scenarios")
+    print("     (identical scenarios per protocol; writeset items only)")
+    print("=" * 72)
+    for row in availability_sweep(runs=args.runs):
+        print(row.format_row())
+
+    print()
+    print("=" * 72)
+    print("E12  commit decision latency, jittered delays (n=7, r=2, w=6)")
+    print("=" * 72)
+    for row in latency_sweep(n_sites=7, runs=args.runs, r=2, w=6):
+        print(row.format_row())
+
+    print()
+    print("=" * 72)
+    print("E5   Fig. 4 - derived concurrency sets and the impossibility chain")
+    print("=" * 72)
+    print(run_fig4().format())
+
+    print()
+    print("=" * 72)
+    print("E6/E9  termination decision matrix (Fig. 5 vs Fig. 8 vs [16])")
+    print("=" * 72)
+    print(run_decision_matrix().format())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Three datacenters on a WAN: where replica placement meets quorums.
+
+Nine sites in three datacenters (0.1 time units apart inside a DC,
+1.0 across).  Two placements of the same item are compared under the
+paper's protocol 1:
+
+* **spread** — one copy per DC triple, quorums span DCs: decisions pay
+  WAN latency, but any single DC can be lost without losing the item.
+* **local** — all copies in DC A with quorums inside it: commits run at
+  LAN speed, but isolating DC A takes the item down everywhere else.
+
+Then a DC gets cut off mid-commit and the termination protocol cleans
+up — in the spread placement the surviving majority keeps the item
+readable and writable.
+
+Run:  python examples/wan_datacenters.py
+"""
+
+from repro import CatalogBuilder, Cluster, FailurePlan
+from repro.net.delays import GroupedDelay
+
+DC_A, DC_B, DC_C = [1, 2, 3], [4, 5, 6], [7, 8, 9]
+GROUPS = {s: 0 for s in DC_A} | {s: 1 for s in DC_B} | {s: 2 for s in DC_C}
+
+
+def delay_model():
+    return GroupedDelay(GROUPS, intra=0.1, inter=1.0, jitter=0.1)
+
+
+ALL_SITES = DC_A + DC_B + DC_C
+
+
+def commit_latency(catalog, origin) -> float:
+    cluster = Cluster(
+        catalog, protocol="qtp1", delay_model=delay_model(), seed=5, extra_sites=ALL_SITES
+    )
+    txn = cluster.update(origin=origin, writes={"ledger": 1})
+    cluster.run()
+    decision = cluster.tracer.where(category="coord-decision", txn=txn.txn)[0]
+    return decision.time
+
+
+def main() -> None:
+    spread = (
+        CatalogBuilder()
+        .replicated_item("ledger", sites=[1, 4, 7], r=2, w=2)
+        .build()
+    )
+    local = (
+        CatalogBuilder()
+        .replicated_item("ledger", sites=DC_A, r=2, w=2)
+        .build()
+    )
+
+    print("failure-free commit latency (virtual time, T = worst-case WAN delay):")
+    print(f"  spread placement (one copy per DC): {commit_latency(spread, 1):6.2f}")
+    print(f"  local placement (all copies in A) : {commit_latency(local, 1):6.2f}")
+
+    print("\nnow DC C is cut off while a spread-placement commit is in flight:")
+    cluster = Cluster(
+        spread, protocol="qtp1", delay_model=delay_model(), seed=5, extra_sites=ALL_SITES
+    )
+    txn = cluster.update(origin=1, writes={"ledger": 2})
+    cluster.arm_failures(FailurePlan().partition(1.5, DC_A + DC_B, DC_C))
+    cluster.run()
+    report = cluster.outcome(txn.txn)
+    print(f"  outcome: {report.outcome} (atomic={report.atomic})")
+    row = cluster.availability().row(frozenset(DC_A + DC_B), "ledger")
+    print(f"  ledger in A+B: readable={row.readable} writable={row.writable} "
+          f"({row.usable_votes}/{row.total_votes} votes)")
+    row_c = cluster.availability().row(frozenset(DC_C), "ledger")
+    print(f"  ledger in C  : readable={row_c.readable} writable={row_c.writable}")
+    print("\nthe spread placement pays ~WAN latency per commit but survives the "
+          "loss of any one datacenter with full read/write availability.")
+
+
+if __name__ == "__main__":
+    main()

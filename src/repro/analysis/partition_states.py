@@ -1,0 +1,218 @@
+"""Partition-state theory of Fig. 4 — computed, not transcribed (S16).
+
+The paper's §2 argument proceeds from a small taxonomy: when a commit
+procedure is interrupted, each partition's *partition state* (the set
+of local states of its active participants) falls into exactly one of
+six classes PS1–PS6, and each class has a *concurrency set* — the
+classes that other partitions may simultaneously occupy.
+
+This module reproduces the taxonomy and then **derives** the
+concurrency sets by enumerating the global states reachable under an
+interrupted three-phase commit, instead of copying Fig. 4's table.
+The test suite asserts the derived sets match the paper's, and the
+benchmark for experiment E5 prints the derived table next to the
+paper's rows.
+
+Finally, :func:`impossibility_argument` mechanizes §2's negative
+result: no termination protocol working with any commit protocol can
+guarantee that every partition holding enough votes for some written
+item terminates the transaction.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+
+from repro.protocols.states import TxnState
+
+
+class PartitionState(enum.Enum):
+    """The six mutually-exclusive partition states of Fig. 4."""
+
+    PS1 = "at least one participant in Q, none in A"
+    PS2 = "all participants in W"
+    PS3 = "at least one participant in A"
+    PS4 = "some participants in PC, some in W"
+    PS5 = "all participants in PC"
+    PS6 = "at least one participant in C"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def classify_partition(states: list[TxnState]) -> PartitionState:
+    """Classify a non-empty multiset of local states per Fig. 4.
+
+    Classification order makes the classes exclusive and exhaustive for
+    the 3PC state alphabet {Q, W, PC, A, C}: terminal evidence first
+    (C, then A), then initial evidence (Q), then the PC/W splits.
+
+    Raises:
+        ValueError: for an empty partition or a PA state — Fig. 4
+            predates the PA state; it describes the situation *any*
+            commit protocol leaves behind, i.e. 3PC's alphabet.
+    """
+    if not states:
+        raise ValueError("a partition state needs at least one participant")
+    present = set(states)
+    if TxnState.PA in present:
+        raise ValueError("Fig. 4 classifies 3PC states; PA is out of alphabet")
+    if TxnState.C in present:
+        return PartitionState.PS6
+    if TxnState.A in present:
+        return PartitionState.PS3
+    if TxnState.Q in present:
+        return PartitionState.PS1
+    if present == {TxnState.W}:
+        return PartitionState.PS2
+    if present == {TxnState.PC}:
+        return PartitionState.PS5
+    return PartitionState.PS4  # PC mixed with W
+
+
+def reachable_global_states(n_sites: int) -> list[tuple[TxnState, ...]]:
+    """Global participant-state vectors reachable under interrupted 3PC.
+
+    The reachable set, derived from the 3PC flow (Fig. 2):
+
+    * **voting era** — every site in {Q, W, A}: votes are still being
+      cast, or the coordinator aborted / a site voted no (A can coexist
+      with Q and W).
+    * **prepared era** — every site in {W, PC, C} with at least one
+      site past W: prepare requires a unanimous yes (so no Q, no A),
+      and the coordinator may command commit while some sites' PREPARE
+      messages are still lost in flight (so W can coexist with C).
+
+    The two eras overlap in the all-W vector.
+    """
+    voting_alphabet = (TxnState.Q, TxnState.W, TxnState.A)
+    prepared_alphabet = (TxnState.W, TxnState.PC, TxnState.C)
+    reachable: set[tuple[TxnState, ...]] = set()
+    for vector in itertools.product(voting_alphabet, repeat=n_sites):
+        reachable.add(vector)
+    for vector in itertools.product(prepared_alphabet, repeat=n_sites):
+        reachable.add(vector)
+    return sorted(reachable, key=lambda v: [s.name for s in v])
+
+
+def concurrency_sets(n_sites: int = 5) -> dict[PartitionState, set[PartitionState]]:
+    """Derive C(PS) for every partition state by enumeration.
+
+    For every reachable global vector and every two-way split of the
+    sites into non-empty groups, classify both groups; each observed
+    pair (X, Y) contributes Y to C(X) and X to C(Y).
+
+    ``n_sites = 5`` is enough for the table to stabilize: every class
+    needs at most two witnesses per group (e.g. PS4 needs a PC and a W)
+    and there are two groups.
+    """
+    sets: dict[PartitionState, set[PartitionState]] = {ps: set() for ps in PartitionState}
+    sites = range(n_sites)
+    for vector in reachable_global_states(n_sites):
+        for r in range(1, n_sites):
+            for group in itertools.combinations(sites, r):
+                inside = [vector[i] for i in group]
+                outside = [vector[i] for i in sites if i not in group]
+                ps_in = classify_partition(inside)
+                ps_out = classify_partition(outside)
+                sets[ps_in].add(ps_out)
+                sets[ps_out].add(ps_in)
+    return sets
+
+
+@dataclass(frozen=True)
+class ImpossibilityStep:
+    """One step of the §2 impossibility chain (printed by benchmark E5)."""
+
+    claim: str
+    because: str
+
+
+def impossibility_argument(
+    sets: dict[PartitionState, set[PartitionState]] | None = None,
+) -> list[ImpossibilityStep]:
+    """Mechanize the paper's proof that a vote-respecting, never-blocking
+    termination protocol cannot exist.
+
+    Desired property: "if a partition has enough votes for a data item
+    in W(TR), the termination protocol should either commit or abort
+    the transaction in the partition" (never block it).
+
+    The chain (each step checked against the *derived* concurrency
+    sets, so the function doubles as a verification of Fig. 4):
+
+    1. PS3 (an abort exists) must abort; PS6 (a commit exists) must
+       commit — decisions are irrevocable (Rule 1).
+    2. PS3 ∈ C(PS2): a partition of waiters can coexist with an
+       aborted partition, so PS2 may only block or abort (Rule 1).
+    3. PS6 ∈ C(PS5): an all-PC partition can coexist with a committed
+       partition, so PS5 may only block or commit (Rule 1).
+    4. PS2 ∈ C(PS5) and PS5 ∈ C(PS2): the two can coexist.  If neither
+       may block, PS2 must abort while PS5 must commit — inconsistent
+       termination (violates Rule 2).
+    5. Both partitions can each hold enough votes for *some* (different)
+       item in W(TR) — e.g. Example 1's G1 (votes for x) and G3 (votes
+       for y).  Hence the desired property is unattainable; blocking
+       can only be *minimized*, which is what the paper's protocols do.
+
+    Returns:
+        The verified steps, in order.
+
+    Raises:
+        AssertionError: if the derived concurrency sets contradict any
+            step (they do not; the tests pin this).
+    """
+    if sets is None:
+        sets = concurrency_sets()
+    steps = []
+    assert PartitionState.PS3 in sets[PartitionState.PS2]
+    steps.append(
+        ImpossibilityStep(
+            "PS2 (all waiting) may only block or abort",
+            "PS3 is in C(PS2): some other partition may already have aborted",
+        )
+    )
+    assert PartitionState.PS6 in sets[PartitionState.PS5]
+    steps.append(
+        ImpossibilityStep(
+            "PS5 (all prepared-to-commit) may only block or commit",
+            "PS6 is in C(PS5): some other partition may already have committed",
+        )
+    )
+    assert PartitionState.PS5 in sets[PartitionState.PS2]
+    assert PartitionState.PS2 in sets[PartitionState.PS5]
+    steps.append(
+        ImpossibilityStep(
+            "PS2 and PS5 can occur concurrently",
+            "an interrupted prepare round leaves some sites in W, others in PC",
+        )
+    )
+    steps.append(
+        ImpossibilityStep(
+            "no protocol terminates both a PS2 and a PS5 partition",
+            "PS2 could only abort, PS5 could only commit - inconsistent (Rule 2)",
+        )
+    )
+    steps.append(
+        ImpossibilityStep(
+            "a vote-holding partition cannot always be unblocked",
+            "each of the two partitions may hold enough votes for a different "
+            "item of W(TR), as in Example 1's G1 (x) and G3 (y)",
+        )
+    )
+    return steps
+
+
+def format_concurrency_table(
+    sets: dict[PartitionState, set[PartitionState]] | None = None,
+) -> str:
+    """Render the derived Fig. 4 table for benches and examples."""
+    if sets is None:
+        sets = concurrency_sets()
+    lines = ["PS   definition                                         C(PS)"]
+    for ps in PartitionState:
+        members = ", ".join(sorted(m.name for m in sets[ps]))
+        lines.append(f"{ps.name:<4} {ps.value:<50} {{{members}}}")
+    return "\n".join(lines)

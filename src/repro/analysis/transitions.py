@@ -1,0 +1,69 @@
+"""Observed-transition extraction — Fig. 6 checked against real runs.
+
+The state-machine module declares the legal transition relation; this
+module closes the loop by extracting every transition that *actually
+occurred* in a run (sites trace each state change) and comparing the
+observed set against Fig. 6.  The benchmark for experiment E18 runs
+the whole model-check corpus through this: the union of observed
+transitions must be a subset of the legal relation and must cover the
+interesting edges (W->PC, W->PA, PC->C, PA->A, the early-commit W->C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.protocols.states import (
+    FORBIDDEN_TRANSITIONS,
+    LEGAL_TRANSITIONS,
+    TxnState,
+)
+from repro.sim.trace import Tracer
+
+
+@dataclass(frozen=True)
+class TransitionAudit:
+    """Observed transitions of one or many runs vs the Fig. 6 relation."""
+
+    observed: frozenset[tuple[TxnState, TxnState]]
+    illegal: frozenset[tuple[TxnState, TxnState]]
+
+    @property
+    def conforms(self) -> bool:
+        """True when nothing outside Fig. 6 was observed."""
+        return not self.illegal
+
+    def covers(self, *edges: tuple[TxnState, TxnState]) -> bool:
+        """Did the corpus exercise all the given edges?"""
+        return all(edge in self.observed for edge in edges)
+
+    def format_table(self) -> str:
+        """One line per observed transition, flagging illegal ones."""
+        lines = ["observed transitions (vs Fig. 6):"]
+        for src, dst in sorted(self.observed, key=lambda e: (e[0].name, e[1].name)):
+            marker = "ILLEGAL" if (src, dst) in self.illegal else "ok"
+            lines.append(f"  {src.name:>2} -> {dst.name:<2}  {marker}")
+        return "\n".join(lines)
+
+
+def observed_transitions(tracer: Tracer, txn: str | None = None) -> set[tuple[TxnState, TxnState]]:
+    """Every (src, dst) state transition recorded in a trace."""
+    out = set()
+    for rec in tracer.where(category="state", txn=txn):
+        out.add((TxnState[rec.detail["src"]], TxnState[rec.detail["dst"]]))
+    return out
+
+
+def audit_transitions(tracers: list[Tracer]) -> TransitionAudit:
+    """Union the observed transitions of many runs and audit them."""
+    observed: set[tuple[TxnState, TxnState]] = set()
+    for tracer in tracers:
+        observed |= observed_transitions(tracer)
+    illegal = {
+        edge
+        for edge in observed
+        if edge not in LEGAL_TRANSITIONS and edge[0] != edge[1]
+    }
+    # sanity: nothing can be both observed-legal and forbidden
+    assert not (observed - illegal) & FORBIDDEN_TRANSITIONS
+    return TransitionAudit(frozenset(observed), frozenset(illegal))

@@ -1,0 +1,34 @@
+"""Shared primitives used by every subsystem.
+
+This package holds the small vocabulary of the whole library: identifier
+types, error hierarchy, and configuration dataclasses.  Nothing here
+depends on any other ``repro`` package.
+"""
+
+from repro.common.errors import (
+    ConfigurationError,
+    ElectionError,
+    ProtocolError,
+    QuorumUnreachableError,
+    ReproError,
+    SiteDownError,
+    StorageError,
+    TransactionAborted,
+    TransactionBlocked,
+)
+from repro.common.ids import SiteId, TxnId, make_txn_id
+
+__all__ = [
+    "ConfigurationError",
+    "ElectionError",
+    "ProtocolError",
+    "QuorumUnreachableError",
+    "ReproError",
+    "SiteDownError",
+    "SiteId",
+    "StorageError",
+    "TransactionAborted",
+    "TransactionBlocked",
+    "TxnId",
+    "make_txn_id",
+]

@@ -1,0 +1,42 @@
+"""Identifier types.
+
+Sites are identified by small integers (the paper writes ``site1`` ...
+``site8``); transactions by opaque strings.  Keeping these as plain
+builtin types keeps every dataclass hashable and trivially serializable,
+but the aliases below document intent at call sites.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+SiteId = int
+TxnId = str
+
+_txn_counter = itertools.count(1)
+
+
+def make_txn_id(origin: SiteId, counter: int | None = None) -> TxnId:
+    """Build a globally unique transaction identifier.
+
+    The id embeds the originating site so that ids minted concurrently at
+    different sites can never collide, mirroring the usual
+    ``<site, local-sequence>`` construction in distributed databases.
+
+    Args:
+        origin: site where the transaction was issued.
+        counter: explicit local sequence number; when omitted a
+            process-wide counter is used (convenient for tests).
+
+    Returns:
+        A string such as ``"T3.17"`` (transaction 17 issued at site 3).
+    """
+    if counter is None:
+        counter = next(_txn_counter)
+    return f"T{origin}.{counter}"
+
+
+def reset_txn_counter() -> None:
+    """Reset the process-wide transaction counter (test isolation)."""
+    global _txn_counter
+    _txn_counter = itertools.count(1)

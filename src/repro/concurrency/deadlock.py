@@ -1,0 +1,47 @@
+"""Global deadlock detection over per-site lock managers.
+
+The simulator runs an omniscient detector (a union of every site's
+waits-for edges, cycle search via networkx).  A real system would run a
+distributed detector or timeouts; for reproducing the paper, deadlock
+handling only needs to exist so random workloads cannot wedge — the
+victim with the lexicographically greatest transaction id is aborted,
+a deterministic choice that keeps sweeps reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+from repro.concurrency.locks import LockManager
+
+
+def build_waits_for(managers: Iterable[LockManager]) -> nx.DiGraph:
+    """Union the waits-for edges of many lock managers into one digraph."""
+    graph = nx.DiGraph()
+    for manager in managers:
+        for waiter, holder in manager.waits_edges():
+            graph.add_edge(waiter, holder)
+    return graph
+
+
+def find_deadlock(managers: Iterable[LockManager]) -> list[str] | None:
+    """Find one deadlock cycle, if any.
+
+    Returns:
+        The transactions on one cycle (in cycle order), or None.  When
+        several cycles exist the one found first by networkx is
+        returned; callers re-run detection after aborting a victim.
+    """
+    graph = build_waits_for(managers)
+    try:
+        cycle_edges = nx.find_cycle(graph)
+    except nx.NetworkXNoCycle:
+        return None
+    return [edge[0] for edge in cycle_edges]
+
+
+def choose_victim(cycle: list[str]) -> str:
+    """Deterministic victim: the greatest transaction id on the cycle."""
+    return max(cycle)

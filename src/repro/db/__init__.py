@@ -1,0 +1,29 @@
+"""Distributed database engine (system S19).
+
+This is the substrate the examples and experiments actually run: a
+:class:`~repro.db.cluster.Cluster` of :class:`~repro.db.site.Site`
+actors over the simulated network, each composing durable storage, a
+lock manager and a commit-protocol engine, with the Gifford voting
+scheme for replica access.
+
+Typical use::
+
+    from repro import Cluster, CatalogBuilder
+
+    catalog = (
+        CatalogBuilder()
+        .replicated_item("x", sites=[1, 2, 3, 4], r=2, w=3)
+        .build()
+    )
+    cluster = Cluster(catalog, protocol="qtp1", seed=7)
+    txn = cluster.update(origin=1, writes={"x": 42})
+    cluster.run()
+    assert cluster.outcome(txn.txn).outcome == "commit"
+    assert cluster.read(1, "x").value == 42
+"""
+
+from repro.db.cluster import Cluster, PROTOCOL_NAMES
+from repro.db.site import Site, SiteHooks
+from repro.db.txn import TxnHandle
+
+__all__ = ["Cluster", "PROTOCOL_NAMES", "Site", "SiteHooks", "TxnHandle"]

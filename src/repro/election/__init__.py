@@ -1,0 +1,14 @@
+"""Coordinator election (system S7; Garcia-Molina [7]).
+
+When the termination protocol is invoked, "a coordinator will first be
+elected in each partition by an election protocol" (paper §3).  The
+paper explicitly does **not** require the elected coordinator to be
+unique per partition — Example 3 is built on two coordinators arising
+in one (healed) partition — so the election here is best-effort: it
+usually yields the highest-id reachable participant, and the protocols
+above it are proven safe regardless.
+"""
+
+from repro.election.bully import ElectionMixin
+
+__all__ = ["ElectionMixin"]

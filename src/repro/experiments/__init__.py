@@ -1,0 +1,50 @@
+"""Experiment harness (system S21) — one runner per paper artifact.
+
+Experiment ids follow DESIGN.md §4:
+
+========  ==========================================  ====================
+id        paper artifact                              runner
+========  ==========================================  ====================
+E1, E2    Fig. 1 / Fig. 2 message flows               :mod:`repro.experiments.flows`
+E3, E4    Example 1 / Example 4 (Fig. 3)              :mod:`repro.experiments.examples`
+E5        Fig. 4 concurrency sets + impossibility     :mod:`repro.experiments.figures`
+E6, E9    Fig. 5 / Fig. 8 decision matrices           :mod:`repro.experiments.figures`
+E7        Example 3 (Fig. 7) two coordinators         :mod:`repro.experiments.examples`
+E8        Example 2 (3PC inconsistency)               :mod:`repro.experiments.examples`
+E10, E12  Fig. 9 early commit + latency sweep         :mod:`repro.experiments.flows`
+E11       availability sweep (the §5 claim)           :mod:`repro.experiments.sweeps`
+E13       reenterability under failure storms         :mod:`repro.experiments.sweeps`
+E14       Theorem 1 randomized model-check            :mod:`repro.experiments.sweeps`
+========  ==========================================  ====================
+
+Every runner is deterministic in its seed and returns a dataclass with
+a ``format_table()`` (or equivalent) rendering — EXPERIMENTS.md is
+generated from these outputs by ``examples/regenerate_experiments.py``.
+"""
+
+from repro.experiments.ablations import pairing_ablation, timeout_ablation
+from repro.experiments.flows import CommitMetrics, latency_sweep, measure_commit
+from repro.experiments.stats import mean_ci, paired_comparison
+from repro.experiments.sweeps import (
+    availability_sweep,
+    modelcheck,
+    reenterability_storm,
+)
+from repro.experiments.vote_study import vote_assignment_study
+from repro.experiments.workload_study import run_workload, workload_study
+
+__all__ = [
+    "CommitMetrics",
+    "availability_sweep",
+    "latency_sweep",
+    "mean_ci",
+    "measure_commit",
+    "modelcheck",
+    "paired_comparison",
+    "pairing_ablation",
+    "reenterability_storm",
+    "run_workload",
+    "timeout_ablation",
+    "vote_assignment_study",
+    "workload_study",
+]

@@ -1,0 +1,159 @@
+"""Experiments E3, E4, E7, E8 — the paper's worked examples, asserted.
+
+Each runner replays a scenario from :mod:`repro.workload.scenarios`
+and distills the paper's prose claim into a structured verdict the
+benchmarks print and the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workload.scenarios import (
+    EXAMPLE1_GROUPS,
+    run_example1_scenario,
+    run_example3_scenario,
+)
+
+
+@dataclass
+class Example1Verdict:
+    """E3: Skeen's protocol [16] blocks every partition of Fig. 3."""
+
+    outcome: str
+    blocked_in_all_partitions: bool
+    x_readable_in_g1: bool
+    y_writable_in_g3: bool
+    availability_table: str
+
+    @property
+    def matches_paper(self) -> bool:
+        """The paper: TR blocks everywhere; x and y inaccessible."""
+        return (
+            self.outcome == "blocked"
+            and self.blocked_in_all_partitions
+            and not self.x_readable_in_g1
+            and not self.y_writable_in_g3
+        )
+
+
+def run_example1(seed: int = 0) -> Example1Verdict:
+    """E3: the Fig. 3 failure under Skeen's site-quorum protocol."""
+    result = run_example1_scenario("skq", seed=seed)
+    availability = result.cluster.availability()
+    g1, g2, g3 = (frozenset(g) for g in EXAMPLE1_GROUPS)
+    states = result.states()
+    undecided = {s for s, st in states.items() if st not in ("C", "A")}
+    return Example1Verdict(
+        outcome=result.outcome,
+        blocked_in_all_partitions=all(
+            any(site in undecided for site in group) for group in EXAMPLE1_GROUPS
+        ),
+        x_readable_in_g1=availability.row(g1, "x").readable,
+        y_writable_in_g3=availability.row(g3, "y").writable,
+        availability_table=availability.describe(),
+    )
+
+
+@dataclass
+class Example2Verdict:
+    """E8: 3PC termination is inconsistent under the Fig. 3 partitioning."""
+
+    outcome: str
+    committed_sites: list[int]
+    aborted_sites: list[int]
+    g2_committed: bool
+    g1_g3_aborted: bool
+
+    @property
+    def matches_paper(self) -> bool:
+        """The paper: G2 commits TR while G1 and G3 abort it."""
+        return self.outcome == "mixed" and self.g2_committed and self.g1_g3_aborted
+
+
+def run_example2(seed: int = 0) -> Example2Verdict:
+    """E8: the Fig. 3 failure under 3PC + Skeen's termination protocol."""
+    result = run_example1_scenario("3pc", seed=seed)
+    committed = set(result.report.committed_sites)
+    aborted = set(result.report.aborted_sites)
+    g1, g2, g3 = EXAMPLE1_GROUPS
+    return Example2Verdict(
+        outcome=result.outcome,
+        committed_sites=sorted(committed),
+        aborted_sites=sorted(aborted),
+        g2_committed=committed == {4, 5},
+        g1_g3_aborted=aborted == {2, 3} | set(g3),
+    )
+
+
+@dataclass
+class Example3Verdict:
+    """E7: two coordinators — broken vs enforced ignore rules."""
+
+    enforce_ignore_rules: bool
+    outcome: str
+    atomic: bool
+    ignored_messages: int
+
+    @property
+    def matches_paper(self) -> bool:
+        """Broken variant terminates inconsistently; enforced stays atomic."""
+        if self.enforce_ignore_rules:
+            return self.atomic and self.outcome in ("commit", "abort")
+        return not self.atomic and self.outcome == "mixed"
+
+
+def run_example3(enforce_ignore_rules: bool, seed: int = 0) -> Example3Verdict:
+    """E7: the Fig. 7 two-coordinator scenario."""
+    result = run_example3_scenario(enforce_ignore_rules, seed=seed)
+    return Example3Verdict(
+        enforce_ignore_rules=enforce_ignore_rules,
+        outcome=result.outcome,
+        atomic=result.report.atomic,
+        ignored_messages=result.cluster.tracer.count("ignored", txn=result.txn.txn),
+    )
+
+
+@dataclass
+class Example4Verdict:
+    """E4: termination protocol 1 restores availability in G1 and G3."""
+
+    outcome: str
+    g1_aborted: bool
+    g3_aborted: bool
+    g2_blocked: bool
+    x_readable_in_g1: bool
+    x_writable_in_g1: bool
+    y_writable_in_g3: bool
+    availability_table: str
+
+    @property
+    def matches_paper(self) -> bool:
+        """The paper: TR aborts in G1 and G3; x readable in G1 (not
+        writable — site 1 is down); y updatable in G3; G2 stays blocked."""
+        return (
+            self.g1_aborted
+            and self.g3_aborted
+            and self.g2_blocked
+            and self.x_readable_in_g1
+            and not self.x_writable_in_g1
+            and self.y_writable_in_g3
+        )
+
+
+def run_example4(seed: int = 0, protocol: str = "qtp1") -> Example4Verdict:
+    """E4: the Fig. 3 failure under the paper's protocol 1."""
+    result = run_example1_scenario(protocol, seed=seed)
+    states = result.states()
+    availability = result.cluster.availability()
+    g1, g2, g3 = (frozenset(g) for g in EXAMPLE1_GROUPS)
+    return Example4Verdict(
+        outcome=result.outcome,
+        g1_aborted=all(states.get(s) == "A" for s in (2, 3)),
+        g3_aborted=all(states.get(s) == "A" for s in (6, 7, 8)),
+        g2_blocked=all(states.get(s) in ("W", "PC") for s in (4, 5)),
+        x_readable_in_g1=availability.row(g1, "x").readable,
+        x_writable_in_g1=availability.row(g1, "x").writable,
+        y_writable_in_g3=availability.row(g3, "y").writable,
+        availability_table=availability.describe(),
+    )

@@ -1,0 +1,270 @@
+"""Experiments E11, E13, E14 — the randomized sweeps.
+
+These operationalize the paper's comparative and correctness claims:
+
+* **E11 availability sweep** — the §5 headline: across random
+  placements, transactions and partitionings, what fraction of
+  (partition, item) pairs remain readable / writable after the
+  termination protocol has done what it can?  Compared across all five
+  protocol families, with atomicity violations tracked (3PC buys its
+  availability with inconsistency).
+* **E13 reenterability storm** — §3.1 property (3): additional
+  failures *during* termination re-enter the protocol; after the last
+  heal, every transaction must terminate consistently.
+* **E14 randomized model-check** — Theorem 1 over thousands of random
+  fault schedules: no run of the quorum protocols ever mixes COMMIT
+  and ABORT, and every decision agrees with the first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.cluster import Cluster
+from repro.sim.failures import FailurePlan
+from repro.sim.rng import RngRegistry
+from repro.workload.generators import (
+    random_catalog,
+    random_fault_plan,
+    random_partition_groups,
+    random_update,
+)
+
+
+@dataclass
+class SweepRow:
+    """Aggregated availability outcome for one protocol (E11)."""
+
+    protocol: str
+    runs: int
+    readable_fraction: float
+    writable_fraction: float
+    blocked_runs: int
+    violation_runs: int
+    decided_runs: int
+
+    def format_row(self) -> str:
+        """One aligned summary line for the availability table."""
+        return (
+            f"{self.protocol:<6} runs={self.runs:<4} "
+            f"readable={self.readable_fraction:6.1%} "
+            f"writable={self.writable_fraction:6.1%} "
+            f"blocked-runs={self.blocked_runs:<4} "
+            f"violations={self.violation_runs}"
+        )
+
+
+def _one_availability_run(protocol: str, seed: int) -> tuple[float, float, bool, bool, bool]:
+    """One sweep sample; returns (readable, writable, blocked, violated, decided).
+
+    Availability is measured over the *writeset* items only — those are
+    the items the in-doubt transaction holds locks on; items it never
+    touched are equally available under every protocol and would only
+    dilute the comparison.  "Blocked" means some live participant is
+    still undecided at quiescence.
+    """
+    registry = RngRegistry(seed)
+    rng = registry.stream("sweep")
+    catalog = random_catalog(rng, n_sites=8, n_items=4, replication=4)
+    origin, writes = random_update(rng, catalog, max_items=2)
+    if protocol == "skq-pinned":
+        # the paper's Example-1 configuration: quorums pinned over the
+        # whole installation (Vc = majority of all site votes), so small
+        # participant sets can never reach either quorum.
+        cluster = Cluster(
+            catalog, protocol="skq", seed=seed, commit_quorum=5, abort_quorum=4
+        )
+    else:
+        cluster = Cluster(catalog, protocol=protocol, seed=seed)
+    txn = cluster.update(origin, writes)
+    plan = random_fault_plan(
+        rng,
+        sites=cluster.network.sites,
+        coordinator=origin,
+        t_window=(1.0, 4.5),
+        n_groups=rng.choice([2, 2, 3]),
+    )
+    cluster.arm_failures(plan)
+    cluster.run()
+    report = cluster.outcome(txn.txn)
+    availability = cluster.availability()
+    writeset_rows = [row for row in availability.rows if row.item in writes]
+    readable = sum(r.readable for r in writeset_rows) / len(writeset_rows)
+    writable = sum(r.writable for r in writeset_rows) / len(writeset_rows)
+    return (
+        readable,
+        writable,
+        bool(cluster.live_undecided(txn.txn)),
+        not report.atomic,
+        report.outcome in ("commit", "abort"),
+    )
+
+
+def availability_sweep(
+    protocols: tuple[str, ...] = ("2pc", "3pc", "skq", "skq-pinned", "qtp1", "qtp2"),
+    runs: int = 40,
+    base_seed: int = 0,
+) -> list[SweepRow]:
+    """E11: mean post-failure availability per protocol.
+
+    Every protocol sees the *same* sequence of (catalog, transaction,
+    fault schedule) samples — the seed drives the scenario, the
+    protocol only drives the response — so rows are directly
+    comparable.  ``skq`` sizes its site quorums per transaction
+    (majority of the participants' votes); ``skq-pinned`` uses the
+    paper's Example-1 style installation-wide Vc/Va.
+    """
+    rows = []
+    for protocol in protocols:
+        readable, writable = 0.0, 0.0
+        blocked = violations = decided = 0
+        for i in range(runs):
+            r, w, b, v, d = _one_availability_run(protocol, base_seed + i)
+            readable += r
+            writable += w
+            blocked += b
+            violations += v
+            decided += d
+        rows.append(
+            SweepRow(
+                protocol=protocol,
+                runs=runs,
+                readable_fraction=readable / runs,
+                writable_fraction=writable / runs,
+                blocked_runs=blocked,
+                violation_runs=violations,
+                decided_runs=decided,
+            )
+        )
+    return rows
+
+
+@dataclass
+class StormResult:
+    """E13 outcome for one protocol."""
+
+    protocol: str
+    runs: int
+    consistent_runs: int
+    terminated_runs: int
+    total_term_attempts: int
+
+    @property
+    def all_consistent(self) -> bool:
+        """True when no run violated atomicity."""
+        return self.consistent_runs == self.runs
+
+    def format_row(self) -> str:
+        """One aligned summary line for the storm table."""
+        return (
+            f"{self.protocol:<6} runs={self.runs:<4} "
+            f"consistent={self.consistent_runs:<4} terminated={self.terminated_runs:<4} "
+            f"termination-attempts={self.total_term_attempts}"
+        )
+
+
+def reenterability_storm(
+    protocol: str = "qtp1",
+    runs: int = 20,
+    base_seed: int = 0,
+    waves: int = 3,
+) -> StormResult:
+    """E13: repeated partition waves *during* termination, then heal.
+
+    Each wave re-partitions the network while the previous termination
+    attempt is still in flight; the protocol must re-enter cleanly and,
+    once the final heal lands (and the coordinator recovers), terminate
+    the transaction consistently everywhere.
+    """
+    consistent = terminated = attempts = 0
+    for i in range(runs):
+        registry = RngRegistry(base_seed + i)
+        rng = registry.stream("storm")
+        catalog = random_catalog(rng, n_sites=6, n_items=3, replication=3)
+        origin, writes = random_update(rng, catalog, max_items=2)
+        cluster = Cluster(catalog, protocol=protocol, seed=base_seed + i)
+        txn = cluster.update(origin, writes)
+        plan = FailurePlan()
+        plan.crash(rng.uniform(1.0, 4.0), origin)
+        t = 5.0
+        for _ in range(waves):
+            groups = random_partition_groups(rng, cluster.network.sites, 2)
+            plan.partition(t, *groups)
+            t += rng.uniform(8.0, 15.0)
+        plan.heal(t)
+        plan.recover(t + 5.0, origin)
+        cluster.arm_failures(plan)
+        cluster.run()
+        report = cluster.outcome(txn.txn)
+        consistent += report.atomic
+        terminated += report.fully_terminated
+        attempts += cluster.tracer.count("term-phase1", txn=txn.txn)
+    return StormResult(protocol, runs, consistent, terminated, attempts)
+
+
+@dataclass
+class ModelCheckResult:
+    """E14 outcome."""
+
+    protocol: str
+    runs: int
+    atomic_runs: int
+    mixed_runs: int
+    seeds_with_violation: list[int] = field(default_factory=list)
+
+    @property
+    def theorem_holds(self) -> bool:
+        """Theorem 1: consistent termination in every run."""
+        return self.mixed_runs == 0
+
+    def format_row(self) -> str:
+        """One aligned summary line for the model-check table."""
+        return (
+            f"{self.protocol:<6} runs={self.runs:<5} atomic={self.atomic_runs:<5} "
+            f"violations={self.mixed_runs}"
+            + (f"  seeds={self.seeds_with_violation[:5]}" if self.seeds_with_violation else "")
+        )
+
+
+def modelcheck(
+    protocol: str,
+    runs: int = 100,
+    base_seed: int = 0,
+    heal: bool = True,
+) -> ModelCheckResult:
+    """E14: randomized fault schedules; assert atomic commitment.
+
+    Random catalog, random transaction, coordinator crash, up to one
+    extra crash, random 2-3-way partition at a random time, optional
+    heal + recovery.  For ``2pc``, ``skq``, ``qtp1`` and ``qtp2`` the
+    expected violation count is **zero**; for ``3pc`` it is positive
+    (that protocol's termination was never designed for partitions).
+    """
+    atomic = mixed = 0
+    bad_seeds = []
+    for i in range(runs):
+        seed = base_seed + i
+        registry = RngRegistry(seed)
+        rng = registry.stream("modelcheck")
+        catalog = random_catalog(rng, n_sites=7, n_items=3, replication=3)
+        origin, writes = random_update(rng, catalog, max_items=2)
+        cluster = Cluster(catalog, protocol=protocol, seed=seed)
+        txn = cluster.update(origin, writes)
+        plan = random_fault_plan(
+            rng,
+            sites=cluster.network.sites,
+            coordinator=origin,
+            crash_coordinator=rng.random() < 0.8,
+            n_extra_crashes=rng.choice([0, 0, 1]),
+            n_groups=rng.choice([2, 2, 3]),
+            heal_at=rng.uniform(30.0, 60.0) if heal else None,
+        )
+        cluster.arm_failures(plan)
+        cluster.run()
+        report = cluster.outcome(txn.txn)
+        if report.atomic:
+            atomic += 1
+        else:
+            mixed += 1
+            bad_seeds.append(seed)
+    return ModelCheckResult(protocol, runs, atomic, mixed, bad_seeds)

@@ -1,0 +1,123 @@
+"""Experiment E19 (extension) — vote assignment policies under QTP1.
+
+Gifford's scheme leaves the vote assignment free; the paper's protocols
+inherit whatever assignment the database chose.  This study quantifies
+how three classic policies trade read availability against write
+availability *through the termination protocol* after random failures:
+
+* **uniform-majority** — one vote per copy, w = majority, r the
+  complement: the balanced default every other experiment uses.
+* **read-one** — r = 1, w = v: reads are always local, but a single
+  unreachable copy makes writes (and commit quorums) impossible.
+* **primary-weighted** — one copy holds as many votes as the rest
+  combined plus one... almost: v=6 over 4 copies with a 3-vote primary,
+  w=4, r=3: quorums must include the primary, concentrating both the
+  benefit (small quorums) and the risk (lose the primary, lose the
+  item).
+
+The same fault scenarios run against each policy; only the catalog
+differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.cluster import Cluster
+from repro.replication.catalog import CatalogBuilder, ReplicaCatalog
+from repro.sim.rng import RngRegistry
+from repro.workload.generators import random_fault_plan
+
+
+def _policy_catalog(policy: str, sites: list[int]) -> ReplicaCatalog:
+    """One item 'x' replicated at ``sites`` under the given policy."""
+    builder = CatalogBuilder()
+    if policy == "uniform-majority":
+        builder.replicated_item("x", sites=sites)
+    elif policy == "read-one":
+        v = len(sites)
+        builder.item("x", {s: 1 for s in sites}, r=1, w=v)
+    elif policy == "primary-weighted":
+        primary, *rest = sites
+        votes = {primary: 3} | {s: 1 for s in rest}
+        v = sum(votes.values())  # 3 + (n-1)
+        w = v // 2 + 1
+        r = v - w + 1
+        builder.item("x", votes, r=r, w=w)
+    else:
+        raise ValueError(f"unknown policy {policy!r}")
+    return builder.build()
+
+
+@dataclass
+class PolicyRow:
+    """Aggregated outcome of one vote policy."""
+
+    policy: str
+    runs: int
+    readable_fraction: float
+    writable_fraction: float
+    committed_runs: int
+    blocked_runs: int
+    violations: int
+
+    def format_row(self) -> str:
+        """One aligned summary line for study tables."""
+        return (
+            f"{self.policy:<17} runs={self.runs:<4} "
+            f"readable={self.readable_fraction:6.1%} "
+            f"writable={self.writable_fraction:6.1%} "
+            f"committed={self.committed_runs:<4} blocked={self.blocked_runs:<4} "
+            f"violations={self.violations}"
+        )
+
+
+POLICIES = ("uniform-majority", "read-one", "primary-weighted")
+
+
+def vote_assignment_study(
+    policies: tuple[str, ...] = POLICIES,
+    runs: int = 40,
+    base_seed: int = 0,
+    n_sites: int = 5,
+) -> list[PolicyRow]:
+    """E19: same faults, different vote assignments, QTP1 throughout."""
+    sites = list(range(1, n_sites + 1))
+    rows = []
+    for policy in policies:
+        readable = writable = 0.0
+        committed = blocked = violations = 0
+        for i in range(runs):
+            seed = base_seed + i
+            rng = RngRegistry(seed).stream("vote-study")
+            catalog = _policy_catalog(policy, sites)
+            cluster = Cluster(catalog, protocol="qtp1", seed=seed)
+            txn = cluster.update(origin=1, writes={"x": 1})
+            plan = random_fault_plan(
+                rng,
+                cluster.network.sites,
+                coordinator=1,
+                t_window=(1.0, 4.5),
+                n_groups=2,
+            )
+            cluster.arm_failures(plan)
+            cluster.run()
+            report = cluster.outcome(txn.txn)
+            availability = cluster.availability()
+            readable += availability.readable_fraction
+            writable += availability.writable_fraction
+            committed += report.outcome == "commit"
+            blocked += bool(cluster.live_undecided(txn.txn))
+            violations += not report.atomic
+        rows.append(
+            PolicyRow(
+                policy=policy,
+                runs=runs,
+                readable_fraction=readable / runs,
+                writable_fraction=writable / runs,
+                committed_runs=committed,
+                blocked_runs=blocked,
+                violations=violations,
+            )
+        )
+    return rows

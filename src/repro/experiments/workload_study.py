@@ -1,0 +1,158 @@
+"""Experiment E17 (extension) — a live workload across a partition.
+
+The paper argues about one in-doubt transaction at a time; a database
+serves many.  This experiment drives a stream of interactive
+transactions (quorum reads + writes through the commit protocol) while
+the network partitions and heals, and measures what a client population
+actually experiences under each protocol:
+
+* committed / client-aborted (lock conflict or no quorum) / blocked;
+* whether the committed history is one-copy serializable — the *other*
+  half of the paper's correctness story, checked end to end;
+* final data availability.
+
+Transactions arrive on the virtual clock, so their reads and commits
+genuinely interleave with the fault schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import QuorumUnreachableError, TransactionAborted
+from repro.concurrency.serializability import ConflictGraph
+from repro.db.cluster import Cluster
+from repro.sim.failures import FailurePlan
+from repro.sim.rng import RngRegistry
+from repro.workload.generators import random_catalog, random_partition_groups
+
+
+@dataclass
+class WorkloadResult:
+    """What the client population experienced in one run."""
+
+    protocol: str
+    submitted: int
+    committed: int
+    client_aborted: int
+    protocol_aborted: int
+    blocked: int
+    serializable: bool
+    readable_fraction: float
+    txn_outcomes: dict[str, str] = field(default_factory=dict)
+
+    def format_row(self) -> str:
+        """One aligned summary line for study tables."""
+        return (
+            f"{self.protocol:<6} submitted={self.submitted:<3} "
+            f"committed={self.committed:<3} client-aborted={self.client_aborted:<3} "
+            f"protocol-aborted={self.protocol_aborted:<3} blocked={self.blocked:<3} "
+            f"1SR={self.serializable} readable={self.readable_fraction:.0%}"
+        )
+
+
+def run_workload(
+    protocol: str,
+    n_txns: int = 24,
+    seed: int = 0,
+    partition_window: tuple[float, float] = (20.0, 70.0),
+    arrival_spacing: float = 4.0,
+) -> WorkloadResult:
+    """Drive ``n_txns`` read-modify-write transactions through a
+    partition episode and tally the outcomes.
+
+    Every transaction reads one random item and increments it.  The
+    network splits into two random components during
+    ``partition_window`` and heals afterwards; transactions arriving
+    mid-episode run against whatever their origin's component offers.
+    """
+    registry = RngRegistry(seed)
+    rng = registry.stream("workload")
+    catalog = random_catalog(rng, n_sites=6, n_items=4, replication=3)
+    cluster = Cluster(catalog, protocol=protocol, seed=seed)
+    groups = random_partition_groups(rng, cluster.network.sites, 2)
+    plan = (
+        FailurePlan()
+        .partition(partition_window[0], *groups)
+        .heal(partition_window[1])
+    )
+    cluster.arm_failures(plan)
+
+    outcomes: dict[str, str] = {}
+    handles: dict[str, object] = {}
+
+    def submit_one(index: int) -> None:
+        item = rng.choice(catalog.item_names)
+        origin = rng.choice(catalog.sites_of(item))
+        if not cluster.sites[origin].alive:
+            return
+        txn = cluster.transaction(origin)
+        try:
+            value = txn.read(item)
+            txn.write(item, value + 1)
+            handle = txn.submit()
+        except TransactionAborted:
+            outcomes[txn.txn] = "client-aborted"
+            return
+        except QuorumUnreachableError:
+            txn.abort()
+            outcomes[txn.txn] = "client-aborted"
+            return
+        handles[handle.txn] = handle
+
+    for i in range(n_txns):
+        cluster.scheduler.call_at(1.0 + i * arrival_spacing, submit_one, i)
+    cluster.run()
+
+    committed = protocol_aborted = blocked = 0
+    for txn in handles:
+        report = cluster.outcome(txn)
+        outcome = report.outcome
+        if outcome == "commit":
+            committed += 1
+        elif outcome == "abort":
+            protocol_aborted += 1
+        else:
+            blocked += 1
+        outcomes[txn] = outcome
+    client_aborted = sum(1 for o in outcomes.values() if o == "client-aborted")
+
+    history = cluster.committed_history()
+    return WorkloadResult(
+        protocol=protocol,
+        submitted=len(outcomes),
+        committed=committed,
+        client_aborted=client_aborted,
+        protocol_aborted=protocol_aborted,
+        blocked=blocked,
+        serializable=ConflictGraph(history).is_serializable(),
+        readable_fraction=cluster.availability().readable_fraction,
+        txn_outcomes=outcomes,
+    )
+
+
+def workload_study(
+    protocols: tuple[str, ...] = ("2pc", "skq", "qtp1", "qtp2"),
+    runs: int = 5,
+    n_txns: int = 24,
+    base_seed: int = 0,
+) -> list[WorkloadResult]:
+    """E17 aggregated: sum the tallies over several seeds per protocol.
+
+    Every protocol replays the same seeds; serializability must hold in
+    every single run (the flag is AND-ed).
+    """
+    rows = []
+    for protocol in protocols:
+        total = WorkloadResult(protocol, 0, 0, 0, 0, 0, True, 0.0)
+        for i in range(runs):
+            result = run_workload(protocol, n_txns=n_txns, seed=base_seed + i)
+            total.submitted += result.submitted
+            total.committed += result.committed
+            total.client_aborted += result.client_aborted
+            total.protocol_aborted += result.protocol_aborted
+            total.blocked += result.blocked
+            total.serializable &= result.serializable
+            total.readable_fraction += result.readable_fraction / runs
+        rows.append(total)
+    return rows

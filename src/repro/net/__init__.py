@@ -1,0 +1,32 @@
+"""Simulated point-to-point network substrate (system S2).
+
+The paper assumes a network with a *longest end-to-end propagation
+delay* ``T``; protocol timeouts are expressed as multiples of ``T``
+(``2T`` for acknowledgement windows, ``3T`` for coordinator-silence
+detection).  This package provides that network:
+
+* :class:`~repro.net.message.Message` — the unit of communication.
+* :class:`~repro.net.delays.DelayModel` — per-message latency, bounded
+  by ``T`` so the paper's timeout arithmetic is sound.
+* :class:`~repro.net.partitions.PartitionView` — current connectivity.
+* :class:`~repro.net.network.Network` — routing, loss, partitions,
+  crash-awareness; every send/drop/delivery is traced.
+* :class:`~repro.net.node.Node` — message-driven actor base class that
+  sites are built from.
+"""
+
+from repro.net.delays import DelayModel, FixedDelay, UniformDelay
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.net.partitions import PartitionView
+
+__all__ = [
+    "DelayModel",
+    "FixedDelay",
+    "Message",
+    "Network",
+    "Node",
+    "PartitionView",
+    "UniformDelay",
+]

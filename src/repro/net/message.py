@@ -1,0 +1,50 @@
+"""Network message type.
+
+One flat dataclass covers every protocol in the library; the ``mtype``
+string namespaces the protocol family (``"2pc.vote-req"``,
+``"qtp.prepare-to-commit"``, ``"elect.announce"`` ...) and ``payload``
+carries protocol-specific fields.  Keeping one type means the network,
+tracer, and failure injector never need protocol-specific knowledge.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_msg_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable message in flight.
+
+    Attributes:
+        src: sender site id.
+        dst: destination site id.
+        mtype: dotted message type, e.g. ``"qtp.pc-ack"``.
+        txn: transaction id this message concerns ("" for non-transaction
+            traffic such as elections... elections are still txn-scoped in
+            this library, so in practice txn is almost always set).
+        payload: protocol-specific fields (plain values only).
+        msg_id: unique id for tracing and duplicate-detection tests.
+    """
+
+    src: int
+    dst: int
+    mtype: str
+    txn: str = ""
+    payload: dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+
+    @property
+    def family(self) -> str:
+        """The protocol family prefix of ``mtype`` (before the first dot)."""
+        head, _, __ = self.mtype.partition(".")
+        return head
+
+    def __str__(self) -> str:
+        body = f" {self.payload}" if self.payload else ""
+        txn = f" [{self.txn}]" if self.txn else ""
+        return f"{self.src}->{self.dst} {self.mtype}{txn}{body}"

@@ -1,0 +1,252 @@
+"""The network: routing, partitions, loss, crash-awareness, tracing.
+
+``Network`` is the single facade the rest of the library talks to:
+
+* protocol engines call :meth:`send`;
+* the failure injector calls :meth:`crash_site`, :meth:`recover_site`,
+  :meth:`set_partition`, :meth:`heal`, :meth:`set_link_loss`;
+* the analysis layer reads :attr:`partition` and :meth:`active_sites`.
+
+Semantics (matching the paper's fault model):
+
+* A message to / from a crashed site is dropped.  Crashed sites receive
+  nothing, ever — recovery does not replay in-flight traffic (a crashed
+  site reconstructs from its write-ahead log, not from the wire).
+* A message across a partition boundary is dropped.  Connectivity is
+  evaluated at *delivery* time as well as send time, so a message in
+  flight when the partition forms is lost — this is exactly how the
+  two-coordinator scenario of Example 3 arises.
+* Directed links can be lossy (probability ``p``), independently of
+  partitions; ``p = 1`` models a severed link.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from repro.net.delays import DelayModel, FixedDelay
+from repro.net.message import Message
+from repro.net.partitions import PartitionView
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.node import Node
+    from repro.sim.rng import RngRegistry
+    from repro.sim.scheduler import Scheduler
+    from repro.sim.trace import Tracer
+
+GLOBAL_SITE = -1  # trace attribution for network-wide events
+
+
+class Network:
+    """Simulated point-to-point network over registered nodes."""
+
+    def __init__(
+        self,
+        scheduler: "Scheduler",
+        tracer: "Tracer",
+        rng: "RngRegistry",
+        delay_model: DelayModel | None = None,
+    ) -> None:
+        self._scheduler = scheduler
+        self._tracer = tracer
+        self._rng = rng.stream("net")
+        self._delay_model = delay_model or FixedDelay(1.0)
+        self._nodes: dict[int, "Node"] = {}
+        self._partition = PartitionView([])
+        self._link_loss: dict[tuple[int, int], float] = {}
+        self._filters: list[Callable[[Message], bool]] = []
+        self._observers: list[Callable[[str], None]] = []
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # registration and topology
+    # ------------------------------------------------------------------
+
+    def register(self, node: "Node") -> None:
+        """Add a node to the universe (rebuilds the connectivity view)."""
+        if node.node_id in self._nodes:
+            raise ValueError(f"duplicate node id {node.node_id}")
+        self._nodes[node.node_id] = node
+        self._partition = PartitionView(self._nodes)
+
+    @property
+    def scheduler(self) -> "Scheduler":
+        """The scheduler this network runs on."""
+        return self._scheduler
+
+    @property
+    def tracer(self) -> "Tracer":
+        """The run's trace recorder."""
+        return self._tracer
+
+    @property
+    def T(self) -> float:
+        """Longest end-to-end propagation delay (paper's ``T``)."""
+        return self._delay_model.max_delay
+
+    @property
+    def sites(self) -> list[int]:
+        """All registered site ids, sorted."""
+        return sorted(self._nodes)
+
+    def node(self, site: int) -> "Node":
+        """The node object for ``site``."""
+        return self._nodes[site]
+
+    @property
+    def partition(self) -> PartitionView:
+        """Current connectivity view."""
+        return self._partition
+
+    def active_sites(self, among: Iterable[int] | None = None) -> list[int]:
+        """Sites that are currently up (optionally restricted to ``among``)."""
+        pool = self._nodes if among is None else among
+        return sorted(s for s in pool if s in self._nodes and self._nodes[s].alive)
+
+    def reachable_from(self, src: int, among: Iterable[int] | None = None) -> list[int]:
+        """Active sites in ``src``'s component (optionally within ``among``).
+
+        Includes ``src`` itself when alive.  This is the population a
+        newly elected coordinator can poll in phase 1 of a termination
+        protocol.
+        """
+        pool = self._nodes if among is None else among
+        return sorted(
+            s
+            for s in pool
+            if s in self._nodes
+            and self._nodes[s].alive
+            and self._partition.reachable(src, s)
+        )
+
+    # ------------------------------------------------------------------
+    # fault control (called by the FailureInjector and by tests)
+    # ------------------------------------------------------------------
+
+    def subscribe(self, observer: Callable[[str], None]) -> None:
+        """Register a connectivity-change observer.
+
+        Observers fire after every partition / heal / recovery event with
+        the event name.  The database cluster uses this to re-kick
+        termination for transactions that blocked in an earlier
+        connectivity epoch — the paper's "wait for the failures to
+        recover" made operational.
+        """
+        self._observers.append(observer)
+
+    def _notify(self, event: str) -> None:
+        for observer in self._observers:
+            observer(event)
+
+    def crash_site(self, site: int) -> None:
+        """Crash a node: volatile state lost, timers cancelled."""
+        self._nodes[site].crash()
+        self._tracer.record(self._scheduler.now, site, "crash")
+
+    def recover_site(self, site: int) -> None:
+        """Recover a node from its durable state."""
+        self._nodes[site].recover()
+        self._tracer.record(self._scheduler.now, site, "recover")
+        self._notify("recover")
+
+    def set_partition(self, groups: Sequence[Sequence[int]]) -> None:
+        """Split the network into the given disjoint components."""
+        self._partition = PartitionView(self._nodes, groups)
+        self._tracer.record(
+            self._scheduler.now,
+            GLOBAL_SITE,
+            "partition",
+            groups=[sorted(c) for c in self._partition.components],
+        )
+        self._notify("partition")
+
+    def heal(self) -> None:
+        """Restore full connectivity (and clear per-link loss)."""
+        self._partition = self._partition.healed()
+        self._link_loss.clear()
+        self._tracer.record(self._scheduler.now, GLOBAL_SITE, "heal")
+        self._notify("heal")
+
+    def set_link_loss(self, src: int, dst: int, p: float) -> None:
+        """Set the drop probability of the directed link ``src -> dst``."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"loss probability {p} outside [0, 1]")
+        if p == 0.0:
+            self._link_loss.pop((src, dst), None)
+        else:
+            self._link_loss[(src, dst)] = p
+
+    def add_filter(self, pred: Callable[[Message], bool]) -> None:
+        """Install a message filter; messages with ``pred(msg) == True`` drop.
+
+        Filters are the scalpel for counterexample scenarios ("lose every
+        message from site2 to site5 of type X"); random loss is the
+        blunt instrument for sweeps.
+        """
+        self._filters.append(pred)
+
+    def clear_filters(self) -> None:
+        """Remove all installed message filters."""
+        self._filters.clear()
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+
+    def send(self, msg: Message) -> None:
+        """Transmit a message, subject to the fault model.
+
+        The message is dropped (with a traced reason) when the sender is
+        down, the destination is unknown, a filter matches, the link is
+        lossy, or the partition separates the pair at send time.  It is
+        dropped again at delivery time if the destination crashed or the
+        partition changed while it was in flight.
+        """
+        self.sent += 1
+        self._tracer.record(self._scheduler.now, msg.src, "send", msg.txn, mtype=msg.mtype, dst=msg.dst)
+        reason = self._drop_reason_at_send(msg)
+        if reason is not None:
+            self._drop(msg, reason)
+            return
+        if msg.src == msg.dst:
+            # local processing: no propagation delay, but still a separate
+            # scheduler event so handlers never re-enter each other.
+            delay = 0.0
+        else:
+            delay = self._delay_model.sample(self._rng, msg.src, msg.dst)
+        self._scheduler.call_after(delay, self._deliver, msg, label=f"deliver:{msg.mtype}")
+
+    def _drop_reason_at_send(self, msg: Message) -> str | None:
+        if msg.dst not in self._nodes:
+            return "unknown-destination"
+        if msg.src in self._nodes and not self._nodes[msg.src].alive:
+            return "sender-down"
+        for pred in self._filters:
+            if pred(msg):
+                return "filtered"
+        p = self._link_loss.get((msg.src, msg.dst))
+        if p is not None and (p >= 1.0 or self._rng.random() < p):
+            return "link-loss"
+        if not self._partition.reachable(msg.src, msg.dst):
+            return "partitioned"
+        return None
+
+    def _deliver(self, msg: Message) -> None:
+        node = self._nodes[msg.dst]
+        if not node.alive:
+            self._drop(msg, "destination-down")
+            return
+        if not self._partition.reachable(msg.src, msg.dst):
+            self._drop(msg, "partitioned-in-flight")
+            return
+        self.delivered += 1
+        self._tracer.record(self._scheduler.now, msg.dst, "deliver", msg.txn, mtype=msg.mtype, src=msg.src)
+        node.deliver(msg)
+
+    def _drop(self, msg: Message, reason: str) -> None:
+        self.dropped += 1
+        self._tracer.record(
+            self._scheduler.now, msg.src, "drop", msg.txn, mtype=msg.mtype, dst=msg.dst, reason=reason
+        )

@@ -1,0 +1,135 @@
+"""Message-driven actor base class.
+
+A :class:`Node` is one site's network persona: it registers handlers by
+message type, sends messages, and owns timers that are automatically
+cancelled when the site crashes (a crashed site must not act).  The
+database :class:`~repro.db.site.Site` and the protocol engines build on
+this class.
+
+Crash semantics follow the paper's model:
+
+* ``crash()`` cancels every pending timer and flips ``alive``; the
+  network then drops traffic in both directions.
+* ``recover()`` flips ``alive`` back and invokes :meth:`on_recover`,
+  where subclasses reconstruct state from durable storage (the WAL).
+  Volatile state does *not* survive.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.common.errors import SiteDownError
+from repro.net.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.network import Network
+    from repro.sim.scheduler import EventHandle
+
+
+class Node:
+    """One network endpoint with typed message handlers and safe timers."""
+
+    def __init__(self, node_id: int, network: "Network") -> None:
+        self.node_id = node_id
+        self.network = network
+        self.alive = True
+        self._handlers: dict[str, Callable[[Message], None]] = {}
+        self._timers: list["EventHandle"] = []
+        network.register(self)
+
+    # ------------------------------------------------------------------
+    # handler registration / dispatch
+    # ------------------------------------------------------------------
+
+    def on(self, mtype: str, handler: Callable[[Message], None]) -> None:
+        """Register the handler for a message type (one handler per type)."""
+        if mtype in self._handlers:
+            raise ValueError(f"node {self.node_id}: duplicate handler for {mtype!r}")
+        self._handlers[mtype] = handler
+
+    def deliver(self, msg: Message) -> None:
+        """Called by the network when a message arrives.
+
+        Unhandled message types are traced and ignored rather than
+        raising: a recovered site legitimately receives stragglers for
+        protocols it no longer tracks.
+        """
+        if not self.alive:  # defensive; the network already filters
+            return
+        handler = self._handlers.get(msg.mtype)
+        if handler is None:
+            self.network.tracer.record(
+                self.now, self.node_id, "unhandled", msg.txn, mtype=msg.mtype
+            )
+            return
+        handler(msg)
+
+    # ------------------------------------------------------------------
+    # sending and timing
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.network.scheduler.now
+
+    def send(self, dst: int, mtype: str, txn: str = "", **payload: Any) -> None:
+        """Send one message (no-op with an error if this site is down)."""
+        if not self.alive:
+            raise SiteDownError(f"site {self.node_id} is down")
+        self.network.send(Message(self.node_id, dst, mtype, txn, payload))
+
+    def broadcast(self, dsts: list[int], mtype: str, txn: str = "", **payload: Any) -> None:
+        """Send the same message to every destination (excluding self)."""
+        for dst in dsts:
+            if dst != self.node_id:
+                self.send(dst, mtype, txn, **payload)
+
+    def set_timer(self, delay: float, fn: Callable[..., None], *args: Any, label: str = "") -> "EventHandle":
+        """Schedule a callback that is cancelled if this site crashes first."""
+        if not self.alive:
+            raise SiteDownError(f"site {self.node_id} is down")
+        handle = self.network.scheduler.call_after(
+            delay, self._guarded, fn, args, label=label or f"timer@{self.node_id}"
+        )
+        self._timers.append(handle)
+        if len(self._timers) > 64:
+            self._timers = [t for t in self._timers if t.active]
+        return handle
+
+    def _guarded(self, fn: Callable[..., None], args: tuple[Any, ...]) -> None:
+        """Run a timer callback only while alive (belt over crash-cancel)."""
+        if self.alive:
+            fn(*args)
+
+    # ------------------------------------------------------------------
+    # crash / recovery
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose volatile state: cancel timers, stop acting."""
+        self.alive = False
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        self.on_crash()
+
+    def recover(self) -> None:
+        """Come back up; subclasses rebuild from durable state."""
+        self.alive = True
+        self.on_recover()
+
+    def on_crash(self) -> None:
+        """Hook for subclasses (default: nothing)."""
+
+    def on_recover(self) -> None:
+        """Hook for subclasses (default: nothing)."""
+
+    def trace(self, category: str, txn: str = "", **detail: Any) -> None:
+        """Record a trace event attributed to this site."""
+        self.network.tracer.record(self.now, self.node_id, category, txn, **detail)
+
+    def __repr__(self) -> str:
+        status = "up" if self.alive else "DOWN"
+        return f"<Node {self.node_id} {status}>"

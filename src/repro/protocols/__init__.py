@@ -1,0 +1,23 @@
+"""Commit and termination protocols (systems S8–S15).
+
+Layout:
+
+* :mod:`repro.protocols.states` — the local-state vocabulary
+  (Q/W/PA/PC/A/C) and the legal transition relation of Fig. 6.
+* :mod:`repro.protocols.base` — shared coordinator / participant
+  machinery: per-transaction records, decision logging, timers.
+* :mod:`repro.protocols.twopc` — two-phase commit (Fig. 1) with
+  cooperative termination; the blocking baseline.
+* :mod:`repro.protocols.threepc` — three-phase commit (Fig. 2) with
+  Skeen's site-failure termination protocol; inconsistent under
+  partitioning (Example 2).
+* :mod:`repro.protocols.skeen` — Skeen's site-vote quorum commit
+  protocol [16]; blocks whole partitions (Example 1).
+* :mod:`repro.protocols.qtp` — the paper's contribution: data-item-vote
+  quorum predicates, commit protocols 1–2 (Fig. 9) and termination
+  protocols 1–2 (Fig. 5 / Fig. 8).
+"""
+
+from repro.protocols.states import TxnState, is_committable, can_transition
+
+__all__ = ["TxnState", "is_committable", "can_transition"]

@@ -1,0 +1,26 @@
+"""The paper's quorum-based commit and termination protocols (S12–S15).
+
+* :mod:`repro.protocols.qtp.quorums` — the data-item-vote quorum
+  predicates and the two termination rules (Fig. 5 and Fig. 8).
+* :mod:`repro.protocols.qtp.commit` — commit protocols 1 and 2
+  (Fig. 9): the coordinator sends COMMIT as soon as the PC-ACKs it
+  holds make an abort quorum impossible forever.
+"""
+
+from repro.protocols.qtp.commit import QTP1Engine, QTP2Engine
+from repro.protocols.qtp.generalized import PrimaryTerminationRule, QTPPrimaryEngine
+from repro.protocols.qtp.quorums import (
+    TerminationRule1,
+    TerminationRule2,
+    votes_by_state,
+)
+
+__all__ = [
+    "PrimaryTerminationRule",
+    "QTP1Engine",
+    "QTP2Engine",
+    "QTPPrimaryEngine",
+    "TerminationRule1",
+    "TerminationRule2",
+    "votes_by_state",
+]

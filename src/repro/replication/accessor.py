@@ -1,0 +1,100 @@
+"""Quorum read / write planning and version resolution.
+
+The planner answers, for a given set of *reachable, unlocked* copies:
+which sites form a read (write) quorum for item x, and — given the
+versions those sites returned — what is the current value and what
+version must a new write install.
+
+Planning is deterministic: candidate sites are taken in descending
+(votes, -site) order, so the smallest-cardinality quorum with a stable
+tie-break is selected.  Determinism matters because the experiment
+sweeps compare protocols on identical access plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.common.errors import QuorumUnreachableError
+from repro.replication.catalog import ReplicaCatalog
+from repro.storage.store import VersionedValue
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Outcome of resolving a quorum read.
+
+    Attributes:
+        item: the item read.
+        value: the most recent value among the quorum's copies.
+        version: its version number.
+        quorum: the sites whose copies were consulted.
+        stale_sites: quorum members holding an older version (candidates
+            for read-repair; the database layer refreshes them).
+    """
+
+    item: str
+    value: object
+    version: int
+    quorum: tuple[int, ...]
+    stale_sites: tuple[int, ...]
+
+
+class QuorumPlanner:
+    """Plans quorum accesses against a catalog."""
+
+    def __init__(self, catalog: ReplicaCatalog) -> None:
+        self._catalog = catalog
+
+    def _select(self, item: str, available: Iterable[int], needed: int, kind: str) -> tuple[int, ...]:
+        copies = self._catalog.item(item).copies
+        candidates = sorted(
+            (s for s in set(available) if s in copies),
+            key=lambda s: (-copies[s], s),
+        )
+        chosen: list[int] = []
+        gathered = 0
+        for site in candidates:
+            chosen.append(site)
+            gathered += copies[site]
+            if gathered >= needed:
+                return tuple(sorted(chosen))
+        raise QuorumUnreachableError(item, kind, gathered, needed)
+
+    def plan_read(self, item: str, available: Iterable[int]) -> tuple[int, ...]:
+        """Pick a read quorum (>= r(x) votes) from ``available`` sites.
+
+        Raises:
+            QuorumUnreachableError: if ``available`` holds fewer than
+                r(x) votes — the item is unreadable in this partition.
+        """
+        return self._select(item, available, self._catalog.r(item), "read")
+
+    def plan_write(self, item: str, available: Iterable[int]) -> tuple[int, ...]:
+        """Pick a write quorum (>= w(x) votes) from ``available`` sites.
+
+        Note that a write quorum is a set of sites to *update*; Gifford
+        writes go to the quorum's copies, and copies outside it become
+        stale (their version lags), which read quorums later mask.
+        """
+        return self._select(item, available, self._catalog.w(item), "write")
+
+    @staticmethod
+    def resolve_read(item: str, replies: Mapping[int, VersionedValue]) -> ReadResult:
+        """Combine per-site read replies into the quorum's answer.
+
+        The most recent copy wins (Gifford: "version numbers are used to
+        identify the most recent copy").
+        """
+        if not replies:
+            raise QuorumUnreachableError(item, "read", 0, 1)
+        best_site = max(replies, key=lambda s: (replies[s].version, -s))
+        best = replies[best_site]
+        stale = tuple(sorted(s for s, vv in replies.items() if vv.version < best.version))
+        return ReadResult(item, best.value, best.version, tuple(sorted(replies)), stale)
+
+    @staticmethod
+    def next_version(current_versions: Iterable[int]) -> int:
+        """Version a write must install: one past the max it observed."""
+        return max(current_versions, default=0) + 1

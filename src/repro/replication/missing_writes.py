@@ -1,0 +1,76 @@
+"""Missing-writes adaptation (Eager & Sevcik [5]) — cited extension.
+
+The paper's §2 mentions the missing-writes scheme as "an adaptive
+voting strategy that improves performance when there are no failures".
+The idea: while no failures are suspected, transactions may read a
+single copy (cheap) provided writes go to *all* copies; once a write
+fails to reach some copy, that copy carries a *missing-writes list*
+and readers must fall back to full quorum reads until the copy is
+brought current and the list cleared.
+
+This module implements the bookkeeping half — which copies are known
+to have missed writes, whether an item is in "optimistic" (read-one)
+or "pessimistic" (quorum) mode — as a tracker the database layer
+consults.  It is an optional optimisation: the core experiments run
+with plain Gifford quorums, and a dedicated benchmark compares access
+cost with and without the adaptation in failure-free runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class _ItemStatus:
+    missing: dict[int, set[int]] = field(default_factory=dict)  # site -> missed versions
+
+
+class MissingWritesTracker:
+    """Tracks which copies missed which writes, per item."""
+
+    def __init__(self) -> None:
+        self._items: dict[str, _ItemStatus] = {}
+
+    def _status(self, item: str) -> _ItemStatus:
+        status = self._items.get(item)
+        if status is None:
+            status = _ItemStatus()
+            self._items[item] = status
+        return status
+
+    def record_write(self, item: str, version: int, all_sites: list[int], reached: list[int]) -> None:
+        """Record one write: sites not reached accrue a missing write."""
+        status = self._status(item)
+        for site in all_sites:
+            if site not in reached:
+                status.missing.setdefault(site, set()).add(version)
+
+    def record_repair(self, item: str, site: int, through_version: int) -> None:
+        """A copy was brought current through ``through_version``."""
+        status = self._status(item)
+        missed = status.missing.get(site)
+        if not missed:
+            return
+        remaining = {v for v in missed if v > through_version}
+        if remaining:
+            status.missing[site] = remaining
+        else:
+            del status.missing[site]
+
+    def copy_is_current(self, item: str, site: int) -> bool:
+        """True when the copy at ``site`` has no recorded missing writes."""
+        return site not in self._status(item).missing
+
+    def read_one_allowed(self, item: str) -> bool:
+        """True when *every* copy is current — single-copy reads are safe.
+
+        This is the optimistic fast path: with no missing writes
+        anywhere, any copy holds the latest version, so r(x) can act
+        as 1 regardless of the configured quorum.
+        """
+        return not self._status(item).missing
+
+    def missing_map(self, item: str) -> dict[int, set[int]]:
+        """site -> set of missed versions (defensive copy)."""
+        return {s: set(v) for s, v in self._status(item).missing.items()}

@@ -1,0 +1,81 @@
+"""Primary-copy partition processing (Alsberg & Day [1] / true-copy [12]).
+
+The paper's §5 notes its termination idea "can be generalized to work
+with other partition-processing strategies".  This module provides the
+second strategy that demonstrates it: each item has a designated
+**primary copy**; a partition may read or write the item iff it
+contains the primary's site.  Uniqueness of the primary gives the same
+cross-partition exclusion Gifford quorums give — two disjoint
+partitions can never both access an item — which is all the
+generalized termination rule needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.common.errors import ConfigurationError
+from repro.replication.catalog import ReplicaCatalog
+
+
+class PrimaryCopyStrategy:
+    """Primary-site assignment over a replica catalog."""
+
+    def __init__(
+        self,
+        catalog: ReplicaCatalog,
+        primaries: Mapping[str, int] | None = None,
+    ) -> None:
+        """Assign a primary to every item.
+
+        Args:
+            catalog: the replica catalog.
+            primaries: item -> primary site; defaults to each item's
+                lowest-id host.
+
+        Raises:
+            ConfigurationError: when a primary does not host a copy of
+                its item, or an item lacks an assignment.
+        """
+        self._catalog = catalog
+        self._primaries: dict[str, int] = {}
+        for item in catalog.item_names:
+            primary = (primaries or {}).get(item, catalog.sites_of(item)[0])
+            if primary not in catalog.item(item).copies:
+                raise ConfigurationError(
+                    f"primary {primary} hosts no copy of {item!r}"
+                )
+            self._primaries[item] = primary
+
+    @property
+    def catalog(self) -> ReplicaCatalog:
+        """The underlying catalog."""
+        return self._catalog
+
+    def primary_of(self, item: str) -> int:
+        """The primary site of an item."""
+        try:
+            return self._primaries[item]
+        except KeyError:
+            raise ConfigurationError(f"unknown item {item!r}") from None
+
+    def holds_primary(self, item: str, sites: Iterable[int]) -> bool:
+        """Do ``sites`` include the item's primary?"""
+        return self.primary_of(item) in set(sites)
+
+    def holds_all_primaries(self, items: list[str], sites: Iterable[int]) -> bool:
+        """Do ``sites`` include the primaries of *every* item?"""
+        site_set = set(sites)
+        return bool(items) and all(self.primary_of(x) in site_set for x in items)
+
+    def holds_some_primary(self, items: list[str], sites: Iterable[int]) -> bool:
+        """Do ``sites`` include the primary of *some* item?"""
+        site_set = set(sites)
+        return any(self.primary_of(x) in site_set for x in items)
+
+    def accessible(self, item: str, sites: Iterable[int]) -> bool:
+        """May a partition of ``sites`` access the item at all?"""
+        return self.holds_primary(item, sites)
+
+    def __repr__(self) -> str:
+        return f"<PrimaryCopyStrategy {self._primaries}>"

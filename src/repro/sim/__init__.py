@@ -1,0 +1,38 @@
+"""Deterministic discrete-event simulation kernel (system S1 + S3).
+
+The whole reproduction runs on this kernel instead of wall-clock
+``asyncio``: the paper's protocols are specified against a bounded
+end-to-end delay ``T`` and timeout windows ``2T`` / ``3T``, and only a
+simulated clock lets us exercise those windows exactly and replay any
+counterexample deterministically.
+
+Public surface:
+
+* :class:`~repro.sim.scheduler.Scheduler` — event queue + virtual clock.
+* :class:`~repro.sim.scheduler.EventHandle` — cancellable timer handle.
+* :class:`~repro.sim.rng.RngRegistry` — named, independently seeded
+  random streams so that adding randomness to one component never
+  perturbs another.
+* :class:`~repro.sim.trace.Tracer` / :class:`~repro.sim.trace.TraceRecord`
+  — structured, queryable event trace (the "flight recorder" that the
+  analysis layer and the tests read).
+* :class:`~repro.sim.failures.FailureInjector` — crash / recovery /
+  partition / message-loss schedules.
+"""
+
+from repro.sim.failures import FailureInjector, FailurePlan
+from repro.sim.msc import message_sequence_chart
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import EventHandle, Scheduler
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "EventHandle",
+    "FailureInjector",
+    "FailurePlan",
+    "RngRegistry",
+    "Scheduler",
+    "TraceRecord",
+    "Tracer",
+    "message_sequence_chart",
+]

@@ -1,0 +1,153 @@
+"""Failure injection (system S3).
+
+The paper's fault model is: arbitrary concurrent *site failures*, *lost
+messages*, and *network partitioning*.  :class:`FailurePlan` describes a
+schedule of such faults declaratively; :class:`FailureInjector` arms the
+schedule on a scheduler and applies each fault to the network / site
+registry at its virtual time.
+
+Keeping the plan declarative (a list of timestamped actions) lets the
+experiment harness generate random fault schedules from a seed, print
+them alongside results, and replay any interesting one exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.network import Network
+    from repro.sim.scheduler import Scheduler
+
+
+@dataclass(frozen=True)
+class CrashSite:
+    """Crash ``site`` at ``time`` (volatile state lost, timers cancelled)."""
+
+    time: float
+    site: int
+
+
+@dataclass(frozen=True)
+class RecoverSite:
+    """Recover ``site`` at ``time`` (WAL-based state reconstruction)."""
+
+    time: float
+    site: int
+
+
+@dataclass(frozen=True)
+class PartitionNetwork:
+    """Partition the network into the given disjoint site groups at ``time``.
+
+    Sites not listed in any group form an implicit extra group each (a
+    fully isolated site), matching the usual "disjoint components"
+    definition in the paper's introduction.
+    """
+
+    time: float
+    groups: tuple[tuple[int, ...], ...]
+
+
+@dataclass(frozen=True)
+class HealNetwork:
+    """Remove all partitions at ``time`` (every site reachable again)."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class SetLinkLoss:
+    """From ``time`` on, drop messages ``src -> dst`` with probability ``p``.
+
+    ``p=1.0`` models a severed directed link (used to reproduce Example 3
+    where "all the messages between site2 and site3 ... are somehow lost").
+    """
+
+    time: float
+    src: int
+    dst: int
+    p: float
+
+
+FailureAction = CrashSite | RecoverSite | PartitionNetwork | HealNetwork | SetLinkLoss
+
+
+@dataclass
+class FailurePlan:
+    """An ordered schedule of fault actions for one run."""
+
+    actions: list[FailureAction] = field(default_factory=list)
+
+    def crash(self, time: float, site: int) -> "FailurePlan":
+        """Append a site crash; returns self for chaining."""
+        self.actions.append(CrashSite(time, site))
+        return self
+
+    def recover(self, time: float, site: int) -> "FailurePlan":
+        """Append a site recovery; returns self for chaining."""
+        self.actions.append(RecoverSite(time, site))
+        return self
+
+    def partition(self, time: float, *groups: Sequence[int]) -> "FailurePlan":
+        """Append a partition event; returns self for chaining."""
+        frozen = tuple(tuple(g) for g in groups)
+        self.actions.append(PartitionNetwork(time, frozen))
+        return self
+
+    def heal(self, time: float) -> "FailurePlan":
+        """Append a heal event; returns self for chaining."""
+        self.actions.append(HealNetwork(time))
+        return self
+
+    def sever(self, time: float, src: int, dst: int, p: float = 1.0) -> "FailurePlan":
+        """Append a directed link-loss event; returns self for chaining."""
+        self.actions.append(SetLinkLoss(time, src, dst, p))
+        return self
+
+    def sever_both(self, time: float, a: int, b: int, p: float = 1.0) -> "FailurePlan":
+        """Sever the link in both directions."""
+        return self.sever(time, a, b, p).sever(time, b, a, p)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def describe(self) -> str:
+        """One line per action, in schedule order (for experiment logs)."""
+        return "\n".join(f"t={a.time:g}: {a}" for a in sorted(self.actions, key=lambda a: a.time))
+
+
+class FailureInjector:
+    """Arms a :class:`FailurePlan` on a scheduler against a network.
+
+    The injector only talks to the :class:`~repro.net.network.Network`
+    facade (which owns both connectivity and the site registry), so it is
+    reusable by every protocol and experiment.
+    """
+
+    def __init__(self, scheduler: "Scheduler", network: "Network") -> None:
+        self._scheduler = scheduler
+        self._network = network
+        self.applied: list[FailureAction] = []
+
+    def arm(self, plan: FailurePlan) -> None:
+        """Schedule every action in the plan at its virtual time."""
+        for action in plan.actions:
+            self._scheduler.call_at(action.time, self._apply, action, label="failure")
+
+    def _apply(self, action: FailureAction) -> None:
+        net = self._network
+        if isinstance(action, CrashSite):
+            net.crash_site(action.site)
+        elif isinstance(action, RecoverSite):
+            net.recover_site(action.site)
+        elif isinstance(action, PartitionNetwork):
+            net.set_partition([list(g) for g in action.groups])
+        elif isinstance(action, HealNetwork):
+            net.heal()
+        elif isinstance(action, SetLinkLoss):
+            net.set_link_loss(action.src, action.dst, action.p)
+        else:  # pragma: no cover - exhaustive
+            raise TypeError(f"unknown failure action {action!r}")
+        self.applied.append(action)

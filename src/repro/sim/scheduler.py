@@ -1,0 +1,187 @@
+"""Event scheduler and virtual clock.
+
+A single :class:`Scheduler` instance drives one simulation run.  Events
+are callbacks scheduled at absolute virtual times; ties are broken by a
+monotone sequence number so runs are fully deterministic regardless of
+hash seeds or dict ordering.
+
+The design is intentionally minimal — callbacks, not coroutines.  The
+commit protocols in this library are message-driven state machines, and
+plain ``on_message`` callbacks mirror their published pseudo-code (the
+coordinator / participant event tables of Fig. 5 and Fig. 8) far more
+directly than generator-based processes would.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class _Entry:
+    """Internal heap entry. Ordering: (time, seq)."""
+
+    time: float
+    seq: int
+    handle: "EventHandle" = field(compare=False)
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Cancellation is lazy: the heap entry stays in the queue but is
+    skipped when popped.  ``fired`` distinguishes "ran" from "cancelled"
+    for assertions in tests.
+    """
+
+    __slots__ = ("fn", "args", "time", "cancelled", "fired", "label")
+
+    def __init__(
+        self,
+        fn: Callable[..., None],
+        args: tuple[Any, ...],
+        time: float,
+        label: str = "",
+    ) -> None:
+        self.fn = fn
+        self.args = args
+        self.time = time
+        self.cancelled = False
+        self.fired = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent the event from running (no-op if it already ran)."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending."""
+        return not self.cancelled and not self.fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self.fired else ("cancelled" if self.cancelled else "pending")
+        return f"<EventHandle {self.label or self.fn.__name__} @{self.time} {state}>"
+
+
+class Scheduler:
+    """Virtual-time event queue.
+
+    Typical use::
+
+        sched = Scheduler()
+        sched.call_at(5.0, deliver, msg)
+        handle = sched.call_after(2.0, timeout_fires)
+        handle.cancel()
+        sched.run()          # runs to quiescence
+        sched.now            # final virtual time
+
+    The scheduler never advances time on its own: :meth:`run`,
+    :meth:`run_until` and :meth:`step` pop events in order and set the
+    clock to each event's timestamp before invoking it.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[_Entry] = []
+        self._seq = 0
+        self._now = 0.0
+        self._events_run = 0
+        self._max_events = 10_000_000
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def events_run(self) -> int:
+        """Number of events executed so far (determinism fingerprint)."""
+        return self._events_run
+
+    @property
+    def pending(self) -> int:
+        """Number of queue entries not yet popped (includes cancelled)."""
+        return sum(1 for e in self._queue if e.handle.active)
+
+    def call_at(
+        self,
+        time: float,
+        fn: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute virtual time ``time``.
+
+        Scheduling in the past is a programming error and raises
+        ``ValueError`` rather than silently reordering history.
+        """
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} < now {self._now}")
+        handle = EventHandle(fn, args, time, label=label)
+        self._seq += 1
+        heapq.heappush(self._queue, _Entry(time, self._seq, handle))
+        return handle
+
+    def call_after(
+        self,
+        delay: float,
+        fn: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``fn(*args)`` after a relative ``delay >= 0``."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.call_at(self._now + delay, fn, *args, label=label)
+
+    def step(self) -> bool:
+        """Run the single next pending event.
+
+        Returns:
+            True if an event ran, False if the queue was empty.
+        """
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            handle = entry.handle
+            if handle.cancelled:
+                continue
+            self._now = entry.time
+            handle.fired = True
+            self._events_run += 1
+            if self._events_run > self._max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {self._max_events} events; "
+                    "likely a livelock (retry loop without progress)"
+                )
+            handle.fn(*handle.args)
+            return True
+        return False
+
+    def run(self) -> float:
+        """Run until the queue drains; returns the final virtual time."""
+        while self.step():
+            pass
+        return self._now
+
+    def run_until(self, deadline: float) -> float:
+        """Run all events with ``time <= deadline``; advance clock to deadline.
+
+        Events scheduled beyond the deadline stay queued, so a run can be
+        resumed (used by experiments that inject failures mid-protocol and
+        by the re-entrancy benchmarks).
+        """
+        while self._queue:
+            head = self._queue[0]
+            if head.handle.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > deadline:
+                break
+            self.step()
+        self._now = max(self._now, deadline)
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Scheduler now={self._now} pending={self.pending}>"

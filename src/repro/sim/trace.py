@@ -1,0 +1,140 @@
+"""Structured simulation trace — the flight recorder.
+
+Every interesting action (message send/drop/delivery, state transition,
+quorum evaluation, decision, crash, election) is appended to a
+:class:`Tracer` as a :class:`TraceRecord`.  The analysis layer, the
+tests and the experiment harness all *read the trace* rather than
+poking protocol internals, which keeps the protocols honest: a claim
+like "no partition aborted after a commit quorum formed" is checked
+against the recorded history of the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped event in a run.
+
+    Attributes:
+        time: virtual time the event occurred.
+        site: site id the event is attributed to (-1 for global events
+            such as partition changes).
+        category: machine-readable kind, e.g. ``"state"``, ``"send"``,
+            ``"drop"``, ``"deliver"``, ``"decision"``, ``"election"``,
+            ``"crash"``, ``"recover"``, ``"partition"``, ``"quorum"``.
+        txn: transaction id the event concerns ("" when not txn-scoped).
+        detail: free-form payload (kept to plain dict/str/num values so
+            traces can be serialized).
+    """
+
+    time: float
+    site: int
+    category: str
+    txn: str = ""
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        parts = [f"t={self.time:8.2f}", f"site={self.site:>3}", self.category]
+        if self.txn:
+            parts.append(self.txn)
+        if self.detail:
+            parts.append(str(self.detail))
+        return "  ".join(parts)
+
+
+class Tracer:
+    """Append-only trace with query helpers.
+
+    The helpers cover the questions the analysis layer asks most:
+    "all decision records for txn", "did site s ever enter state PC",
+    "how many messages of type m were sent".
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self._records: list[TraceRecord] = []
+        self._capacity = capacity
+        self._dropped = 0
+
+    def record(
+        self,
+        time: float,
+        site: int,
+        category: str,
+        txn: str = "",
+        **detail: Any,
+    ) -> None:
+        """Append one record (drops silently past ``capacity``)."""
+        if self._capacity is not None and len(self._records) >= self._capacity:
+            self._dropped += 1
+            return
+        self._records.append(TraceRecord(time, site, category, txn, detail))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """The raw record list (do not mutate)."""
+        return self._records
+
+    @property
+    def dropped(self) -> int:
+        """Records discarded because capacity was reached."""
+        return self._dropped
+
+    def where(
+        self,
+        category: str | None = None,
+        site: int | None = None,
+        txn: str | None = None,
+        pred: Callable[[TraceRecord], bool] | None = None,
+    ) -> list[TraceRecord]:
+        """Filter records by category / site / txn and an optional predicate."""
+        out = []
+        for rec in self._records:
+            if category is not None and rec.category != category:
+                continue
+            if site is not None and rec.site != site:
+                continue
+            if txn is not None and rec.txn != txn:
+                continue
+            if pred is not None and not pred(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def count(self, category: str, **kwargs: Any) -> int:
+        """Count records matching :meth:`where` filters."""
+        return len(self.where(category=category, **kwargs))
+
+    def decisions(self, txn: str) -> dict[int, str]:
+        """Map site -> final decision ("commit"/"abort") for a transaction.
+
+        A site's final decision is its *last* decision record; decisions
+        are irrevocable in all implemented protocols, and the consistency
+        checker independently asserts that no site ever records two
+        different decisions.
+        """
+        out: dict[int, str] = {}
+        for rec in self.where(category="decision", txn=txn):
+            out[rec.site] = rec.detail["outcome"]
+        return out
+
+    def message_counts(self) -> dict[str, int]:
+        """Histogram of sent message types (for the Fig. 1 / Fig. 2 benches)."""
+        counts: dict[str, int] = {}
+        for rec in self.where(category="send"):
+            mtype = rec.detail.get("mtype", "?")
+            counts[mtype] = counts.get(mtype, 0) + 1
+        return counts
+
+    def dump(self, records: Iterable[TraceRecord] | None = None) -> str:
+        """Human-readable multi-line rendering (used by examples)."""
+        return "\n".join(str(r) for r in (records if records is not None else self._records))

@@ -1,0 +1,59 @@
+"""Crash recovery from the write-ahead log.
+
+After a crash, a site reconstructs two things:
+
+1. **Data** — committed writes are replayed from ``apply`` records into
+   the replica store (idempotently: a replayed version that is not newer
+   than the stored one is skipped, since the store may already hold it).
+2. **Protocol state** — for each transaction with a ``begin`` but no
+   decision, the last logged protocol record determines the durable
+   local state the site recovers into: ``begin`` -> Q (it never voted,
+   so by the paper's termination rules it is safe to treat as initial
+   and abort-leaning), ``vote yes`` -> W, ``pc`` -> PC, ``pa`` -> PA.
+   A site that recovers in W/PC/PA rejoins the termination protocol.
+"""
+
+from __future__ import annotations
+
+from repro.protocols.states import TxnState
+from repro.storage.store import ReplicaStore
+from repro.storage.wal import WriteAheadLog
+
+
+def replay_data(wal: WriteAheadLog, store: ReplicaStore) -> int:
+    """Re-install committed writes into the store; returns replay count."""
+    replayed = 0
+    for record in wal:
+        if record.kind != "apply":
+            continue
+        item = record.payload["item"]
+        version = record.payload["version"]
+        if not store.hosts(item):
+            continue
+        if store.read(item).version < version:
+            store.write(item, record.payload["value"], version)
+            replayed += 1
+    return replayed
+
+
+def recover_protocol_states(wal: WriteAheadLog) -> dict[str, TxnState]:
+    """Durable local state of every undecided transaction on this site.
+
+    Returns:
+        Mapping txn id -> recovered :class:`TxnState` (one of Q, W, PC,
+        PA; decided transactions are not in the map).
+    """
+    states: dict[str, TxnState] = {}
+    for txn in wal.open_txns():
+        anchor = wal.last_protocol_record(txn)
+        if anchor is None:  # pragma: no cover - open_txns guarantees a begin
+            continue
+        if anchor.kind == "begin":
+            states[txn] = TxnState.Q
+        elif anchor.kind == "vote":
+            states[txn] = TxnState.W if anchor.payload.get("vote") == "yes" else TxnState.Q
+        elif anchor.kind == "pc":
+            states[txn] = TxnState.PC
+        elif anchor.kind == "pa":
+            states[txn] = TxnState.PA
+    return states

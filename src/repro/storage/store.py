@@ -1,0 +1,81 @@
+"""Versioned replica store.
+
+Each site hosts *copies* of some data items.  Gifford's weighted-voting
+scheme [8] identifies the most recent copy in a read quorum by version
+number, so every copy carries one.  The store is deliberately simple —
+a dict of item -> (value, version) — because all the interesting
+machinery (votes, quorums, locks) lives above it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.common.errors import StorageError
+
+
+@dataclass(frozen=True)
+class VersionedValue:
+    """A copy's current value and version number."""
+
+    value: Any
+    version: int
+
+    def __str__(self) -> str:
+        return f"{self.value!r}@v{self.version}"
+
+
+class ReplicaStore:
+    """The copies hosted by one site."""
+
+    def __init__(self, site: int) -> None:
+        self.site = site
+        self._copies: dict[str, VersionedValue] = {}
+
+    def host(self, item: str, value: Any = None, version: int = 0) -> None:
+        """Start hosting a copy of ``item`` with an initial value."""
+        if item in self._copies:
+            raise StorageError(f"site {self.site} already hosts a copy of {item!r}")
+        self._copies[item] = VersionedValue(value, version)
+
+    def hosts(self, item: str) -> bool:
+        """True when this site holds a copy of ``item``."""
+        return item in self._copies
+
+    def read(self, item: str) -> VersionedValue:
+        """Read the local copy (value + version)."""
+        try:
+            return self._copies[item]
+        except KeyError:
+            raise StorageError(f"site {self.site} hosts no copy of {item!r}") from None
+
+    def write(self, item: str, value: Any, version: int) -> None:
+        """Install a new value at an explicit version.
+
+        Versions must strictly increase — a stale write reaching a copy
+        indicates a broken quorum intersection somewhere above, so it is
+        an error here, not a silent no-op.
+        """
+        current = self.read(item)
+        if version <= current.version:
+            raise StorageError(
+                f"site {self.site}: stale write of {item!r} "
+                f"v{version} over v{current.version}"
+            )
+        self._copies[item] = VersionedValue(value, version)
+
+    def items(self) -> Iterator[tuple[str, VersionedValue]]:
+        """Iterate ``(item, versioned_value)`` pairs, sorted by item."""
+        for item in sorted(self._copies):
+            yield item, self._copies[item]
+
+    def snapshot(self) -> dict[str, VersionedValue]:
+        """A shallow copy of the current contents (for assertions)."""
+        return dict(self._copies)
+
+    def __len__(self) -> int:
+        return len(self._copies)
+
+    def __contains__(self, item: str) -> bool:
+        return item in self._copies

@@ -1,0 +1,112 @@
+"""Write-ahead log.
+
+The log is the only thing a site keeps across a crash.  Records are
+appended with :meth:`WriteAheadLog.force` — named after the classical
+"force-write" that must hit stable storage before the protocol takes
+its next step (Gray's notes [9], Lampson & Sturgis [11]).
+
+Record kinds used by the commit protocols:
+
+=============  =====================================================
+kind           meaning
+=============  =====================================================
+``begin``      site became a participant of txn (payload: writeset)
+``vote``       site voted yes/no (payload: vote)
+``pc``         site entered the PC (prepare-to-commit) state
+``pa``         site entered the PA (prepare-to-abort) state
+``commit``     site committed the transaction (irrevocable)
+``abort``      site aborted the transaction (irrevocable)
+``apply``      a committed write was applied (payload: item, value,
+               version) — replayed by recovery into the replica store
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.common.errors import StorageError
+
+_VALID_KINDS = {"begin", "vote", "pc", "pa", "commit", "abort", "apply"}
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One durable log record."""
+
+    lsn: int
+    txn: str
+    kind: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        body = f" {self.payload}" if self.payload else ""
+        return f"[{self.lsn}] {self.txn} {self.kind}{body}"
+
+
+class WriteAheadLog:
+    """Append-only, crash-surviving log for one site."""
+
+    def __init__(self, site: int) -> None:
+        self.site = site
+        self._records: list[LogRecord] = []
+        self._next_lsn = 1
+
+    def force(self, txn: str, kind: str, **payload: Any) -> LogRecord:
+        """Append a record and (conceptually) force it to stable storage.
+
+        Raises:
+            StorageError: on an unknown record kind, or on an attempt to
+                log a second, different decision for the same transaction
+                — decisions are irrevocable (paper §1), and the log is
+                where that irrevocability lives.
+        """
+        if kind not in _VALID_KINDS:
+            raise StorageError(f"unknown log record kind {kind!r}")
+        if kind in ("commit", "abort"):
+            prior = self.decision(txn)
+            if prior is not None and prior != kind:
+                raise StorageError(
+                    f"site {self.site}: txn {txn} already logged {prior}; "
+                    f"cannot log {kind}"
+                )
+        record = LogRecord(self._next_lsn, txn, kind, dict(payload))
+        self._next_lsn += 1
+        self._records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    def for_txn(self, txn: str) -> list[LogRecord]:
+        """All records for one transaction, in LSN order."""
+        return [r for r in self._records if r.txn == txn]
+
+    def decision(self, txn: str) -> str | None:
+        """The logged decision ("commit"/"abort") for txn, if any."""
+        for record in reversed(self._records):
+            if record.txn == txn and record.kind in ("commit", "abort"):
+                return record.kind
+        return None
+
+    def last_protocol_record(self, txn: str) -> LogRecord | None:
+        """The most recent non-``apply`` record for txn (recovery anchor)."""
+        for record in reversed(self._records):
+            if record.txn == txn and record.kind != "apply":
+                return record
+        return None
+
+    def open_txns(self) -> list[str]:
+        """Transactions with a ``begin`` but no decision, in first-seen order."""
+        seen: list[str] = []
+        decided: set[str] = set()
+        for record in self._records:
+            if record.kind == "begin" and record.txn not in seen:
+                seen.append(record.txn)
+            elif record.kind in ("commit", "abort"):
+                decided.add(record.txn)
+        return [t for t in seen if t not in decided]

@@ -1,0 +1,35 @@
+"""Workload and scenario generation (system S20).
+
+* :mod:`repro.workload.scenarios` — the paper's worked examples
+  (Examples 1–4 with Figs. 3 and 7) as parameterized, runnable
+  scenarios shared by the tests, benchmarks and examples.
+* :mod:`repro.workload.generators` — random transaction workloads,
+  random replica placements and random fault schedules for the sweeps
+  and the randomized model-checking experiments.
+"""
+
+from repro.workload.generators import (
+    random_catalog,
+    random_fault_plan,
+    random_partition_groups,
+    random_update,
+)
+from repro.workload.scenarios import (
+    ScenarioResult,
+    example1_catalog,
+    example3_catalog,
+    run_example1_scenario,
+    run_example3_scenario,
+)
+
+__all__ = [
+    "ScenarioResult",
+    "example1_catalog",
+    "example3_catalog",
+    "random_catalog",
+    "random_fault_plan",
+    "random_partition_groups",
+    "random_update",
+    "run_example1_scenario",
+    "run_example3_scenario",
+]

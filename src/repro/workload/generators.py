@@ -1,0 +1,110 @@
+"""Random workload / placement / fault generation for sweeps.
+
+All generators take an explicit ``random.Random`` so experiments stay
+reproducible (the RNG comes from a named
+:class:`~repro.sim.rng.RngRegistry` stream).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.replication.catalog import CatalogBuilder, ReplicaCatalog
+from repro.sim.failures import FailurePlan
+
+
+def random_catalog(
+    rng: random.Random,
+    n_sites: int = 8,
+    n_items: int = 4,
+    replication: int = 4,
+) -> ReplicaCatalog:
+    """A catalog with ``n_items`` items, each replicated at ``replication``
+    random sites with one vote per copy.
+
+    Quorums are drawn uniformly from the valid region: ``w`` from
+    ``(v/2, v]`` and ``r`` from ``(v - w, v]`` — i.e. every legal
+    Gifford assignment is reachable, not just majority/majority.
+    """
+    if replication > n_sites:
+        raise ValueError("replication cannot exceed the number of sites")
+    builder = CatalogBuilder()
+    sites = list(range(1, n_sites + 1))
+    for i in range(n_items):
+        copies = rng.sample(sites, replication)
+        v = replication
+        w = rng.randint(v // 2 + 1, v)
+        r = rng.randint(v - w + 1, v)
+        builder.item(f"i{i}", {s: 1 for s in copies}, r=r, w=w)
+    return builder.build()
+
+
+def random_update(
+    rng: random.Random,
+    catalog: ReplicaCatalog,
+    max_items: int = 2,
+    value_pool: int = 1000,
+) -> tuple[int, dict[str, Any]]:
+    """A random update: (origin site, item -> new value).
+
+    The origin is drawn from the sites hosting a copy of the first
+    chosen item, mimicking "issue where the data lives".
+    """
+    n = rng.randint(1, min(max_items, len(catalog.item_names)))
+    items = rng.sample(catalog.item_names, n)
+    origin = rng.choice(catalog.sites_of(items[0]))
+    return origin, {item: rng.randrange(value_pool) for item in items}
+
+
+def random_partition_groups(
+    rng: random.Random,
+    sites: list[int],
+    n_groups: int = 2,
+) -> list[list[int]]:
+    """Split ``sites`` into ``n_groups`` non-empty random components."""
+    if n_groups > len(sites):
+        raise ValueError("more groups than sites")
+    shuffled = list(sites)
+    rng.shuffle(shuffled)
+    # one seed site per group guarantees non-emptiness
+    groups: list[list[int]] = [[shuffled[i]] for i in range(n_groups)]
+    for site in shuffled[n_groups:]:
+        groups[rng.randrange(n_groups)].append(site)
+    return [sorted(g) for g in groups]
+
+
+def random_fault_plan(
+    rng: random.Random,
+    sites: list[int],
+    coordinator: int,
+    t_window: tuple[float, float] = (1.0, 5.0),
+    crash_coordinator: bool = True,
+    n_extra_crashes: int = 0,
+    n_groups: int = 2,
+    heal_at: float | None = None,
+) -> FailurePlan:
+    """A fault schedule in the paper's model: crashes + one partitioning.
+
+    Args:
+        rng: random stream.
+        sites: the full site list.
+        coordinator: the transaction's origin site.
+        t_window: virtual-time interval the faults strike in.
+        crash_coordinator: crash the coordinator (the classic trigger).
+        n_extra_crashes: additional random participant crashes.
+        n_groups: number of partition components.
+        heal_at: optionally heal at this time (tests recovery paths).
+    """
+    lo, hi = t_window
+    plan = FailurePlan()
+    if crash_coordinator:
+        plan.crash(rng.uniform(lo, hi), coordinator)
+    pool = [s for s in sites if s != coordinator]
+    for victim in rng.sample(pool, min(n_extra_crashes, len(pool))):
+        plan.crash(rng.uniform(lo, hi), victim)
+    groups = random_partition_groups(rng, sites, min(n_groups, len(sites)))
+    plan.partition(rng.uniform(lo, hi), *groups)
+    if heal_at is not None:
+        plan.heal(heal_at)
+    return plan

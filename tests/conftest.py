@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.replication.catalog import CatalogBuilder, ReplicaCatalog
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import Tracer
+
+
+@pytest.fixture
+def scheduler() -> Scheduler:
+    """A fresh scheduler."""
+    return Scheduler()
+
+
+@pytest.fixture
+def tracer() -> Tracer:
+    """A fresh tracer."""
+    return Tracer()
+
+
+@pytest.fixture
+def rng() -> RngRegistry:
+    """A seeded RNG registry."""
+    return RngRegistry(seed=42)
+
+
+@pytest.fixture
+def simple_catalog() -> ReplicaCatalog:
+    """One item x at sites 1-3 with r=2, w=2."""
+    return CatalogBuilder().replicated_item("x", sites=[1, 2, 3], r=2, w=2).build()
+
+
+@pytest.fixture
+def paper_catalog() -> ReplicaCatalog:
+    """The Fig. 3 database: x at 1-4, y at 5-8, one vote each, r=2, w=3."""
+    return (
+        CatalogBuilder()
+        .replicated_item("x", sites=[1, 2, 3, 4], r=2, w=3)
+        .replicated_item("y", sites=[5, 6, 7, 8], r=2, w=3)
+        .build()
+    )

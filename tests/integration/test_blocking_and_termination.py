@@ -1,0 +1,163 @@
+"""Integration tests: blocking behaviour and termination protocols.
+
+These tests drive the classic failure windows:
+
+* coordinator crash between votes and decision (2PC's blocking window);
+* coordinator crash after the prepare round (3PC/QTP recovery window);
+* partitions during each window.
+"""
+
+import pytest
+
+from repro import CatalogBuilder, Cluster, FailurePlan, PROTOCOL_NAMES
+
+
+@pytest.fixture
+def catalog():
+    """x at sites 1-3, r=2, w=2 (v=3; constraints hold)."""
+    return CatalogBuilder().replicated_item("x", sites=[1, 2, 3], r=2, w=2).build()
+
+
+class TestTwoPCBlocking:
+    def test_coordinator_crash_in_window_blocks(self, catalog):
+        """Crash after yes votes are cast but before the decision: every
+        surviving participant must block (the paper's §1 motivation)."""
+        cluster = Cluster(catalog, protocol="2pc")
+        txn = cluster.update(origin=1, writes={"x": 5})
+        cluster.arm_failures(FailurePlan().crash(1.5, 1))
+        cluster.run()
+        report = cluster.outcome(txn.txn)
+        assert report.outcome == "blocked"
+        assert cluster.live_undecided(txn.txn) == [2, 3]
+        # locks are still held -> x is unavailable in the (whole) component
+        assert not cluster.availability().row({1, 2, 3}, "x").readable
+
+    def test_blocked_until_coordinator_recovers(self, catalog):
+        cluster = Cluster(catalog, protocol="2pc")
+        txn = cluster.update(origin=1, writes={"x": 5})
+        cluster.arm_failures(FailurePlan().crash(1.5, 1).recover(50.0, 1))
+        cluster.run()
+        report = cluster.outcome(txn.txn)
+        # the recovered coordinator site is polled (state W after its
+        # logged yes vote... it never voted: crash at 1.5 is before its
+        # self vote-req reply? site 1 votes at t=0 via self-send, so W)
+        assert report.atomic
+        assert not cluster.live_undecided(txn.txn)
+
+    def test_termination_aborts_if_someone_never_voted(self, catalog):
+        """A reachable participant in Q lets 2PC terminate with abort."""
+        cluster = Cluster(catalog, protocol="2pc")
+        # site 3 never receives the vote-req
+        cluster.network.add_filter(
+            lambda m: m.mtype == "2pc.vote-req" and m.dst == 3
+        )
+        txn = cluster.update(origin=1, writes={"x": 5})
+        cluster.arm_failures(FailurePlan().crash(1.5, 1))
+        cluster.run()
+        report = cluster.outcome(txn.txn)
+        assert report.outcome == "abort"
+        assert 2 in report.aborted_sites
+
+
+@pytest.mark.parametrize("protocol", ["3pc", "skq", "qtp1", "qtp2"])
+class TestNonblockingUnderSiteFailure:
+    def test_coordinator_crash_before_prepare_aborts(self, catalog, protocol):
+        """Crash in the vote window: survivors hold only W states; the
+        three-phase families all reach abort (no committable state)."""
+        cluster = Cluster(catalog, protocol=protocol)
+        txn = cluster.update(origin=1, writes={"x": 5})
+        cluster.arm_failures(FailurePlan().crash(1.5, 1))
+        cluster.run()
+        report = cluster.outcome(txn.txn)
+        assert report.atomic
+        assert not cluster.live_undecided(txn.txn)
+        assert report.outcome == "abort"
+
+    def test_coordinator_crash_after_prepare_commits(self, catalog, protocol):
+        """Crash after every participant entered PC: termination commits."""
+        cluster = Cluster(catalog, protocol=protocol)
+        txn = cluster.update(origin=1, writes={"x": 5})
+        cluster.arm_failures(FailurePlan().crash(3.5, 1))
+        cluster.run()
+        report = cluster.outcome(txn.txn)
+        assert report.atomic
+        assert report.outcome == "commit"
+        assert set(report.committed_sites) >= {2, 3}
+
+    def test_recovered_coordinator_learns_outcome(self, catalog, protocol):
+        cluster = Cluster(catalog, protocol=protocol)
+        txn = cluster.update(origin=1, writes={"x": 5})
+        cluster.arm_failures(FailurePlan().crash(3.5, 1).recover(60.0, 1))
+        cluster.run()
+        report = cluster.outcome(txn.txn)
+        assert report.atomic
+        assert set(report.committed_sites) == {1, 2, 3}
+        assert cluster.sites[1].store.read("x").value == 5
+
+
+class TestMinorityPartitionBlocks:
+    @pytest.mark.parametrize("protocol", ["qtp1", "qtp2", "skq"])
+    def test_isolated_prepared_site_blocks(self, catalog, protocol):
+        """One PC site alone cannot commit (no w quorum) nor abort (its
+        own vote is in PC), so it must block — and stay safe."""
+        cluster = Cluster(catalog, protocol=protocol)
+        txn = cluster.update(origin=1, writes={"x": 5})
+        plan = FailurePlan().crash(3.5, 1).partition(3.5, [2], [3])
+        cluster.arm_failures(plan)
+        cluster.run()
+        report = cluster.outcome(txn.txn)
+        assert report.atomic  # nobody decided anything contradictory
+
+    @pytest.mark.parametrize("protocol", ["qtp1", "qtp2", "skq"])
+    def test_heal_unblocks(self, catalog, protocol):
+        cluster = Cluster(catalog, protocol=protocol)
+        txn = cluster.update(origin=1, writes={"x": 5})
+        plan = FailurePlan().crash(3.5, 1).partition(3.5, [2], [3]).heal(40.0)
+        cluster.arm_failures(plan)
+        cluster.run()
+        report = cluster.outcome(txn.txn)
+        assert report.atomic
+        assert report.outcome == "commit"  # both were in PC
+        assert not cluster.live_undecided(txn.txn)
+
+
+class TestQuorumExclusivity:
+    def test_commit_quorum_blocks_remote_abort(self):
+        """Once CP1 secures w(x) PC-ACK votes, no other partition can
+        ever abort — Lemma 1 case 1 in vivo."""
+        catalog = CatalogBuilder().replicated_item("x", sites=[1, 2, 3, 4, 5], r=2, w=4).build()
+        cluster = Cluster(catalog, protocol="qtp1")
+        txn = cluster.update(origin=1, writes={"x": 9})
+        # partition right after the prepare round completes at t=4:
+        # sites 1-4 keep w votes; site 5 is cut off in W or PC
+        cluster.network.add_filter(
+            lambda m: m.mtype == "qtp1.prepare" and m.dst == 5
+        )
+        cluster.arm_failures(FailurePlan().partition(4.5, [1, 2, 3, 4], [5]))
+        cluster.run()
+        report = cluster.outcome(txn.txn)
+        assert report.atomic
+        assert 5 not in report.aborted_sites
+        assert set(report.committed_sites) >= {1, 2, 3, 4}
+
+    def test_abort_quorum_blocks_remote_commit(self):
+        """Symmetric: once r(x) votes sit in PA, a commit quorum is
+        impossible anywhere — Lemma 2 case 2 in vivo."""
+        catalog = CatalogBuilder().replicated_item("x", sites=[1, 2, 3, 4], r=2, w=3).build()
+        cluster = Cluster(catalog, protocol="qtp1")
+        # nobody gets the prepare: coordinator crashes first
+        cluster.network.add_filter(lambda m: m.mtype == "qtp1.prepare")
+        txn = cluster.update(origin=1, writes={"x": 9})
+        plan = (
+            FailurePlan()
+            .crash(2.5, 1)
+            .partition(2.5, [2, 3], [4])
+            .heal(60.0)
+            .recover(80.0, 1)
+        )
+        cluster.arm_failures(plan)
+        cluster.run()
+        report = cluster.outcome(txn.txn)
+        assert report.atomic
+        assert report.outcome == "abort"
+        assert set(report.aborted_sites) == {1, 2, 3, 4}

@@ -1,0 +1,102 @@
+"""Integration tests for the election machinery."""
+
+import pytest
+
+from repro import CatalogBuilder, Cluster, FailurePlan
+
+
+@pytest.fixture
+def catalog():
+    return CatalogBuilder().replicated_item("x", sites=[1, 2, 3, 4], r=2, w=3).build()
+
+
+class TestElections:
+    def test_highest_reachable_becomes_coordinator(self, catalog):
+        cluster = Cluster(catalog, protocol="qtp1")
+        txn = cluster.update(origin=1, writes={"x": 1})
+        cluster.arm_failures(FailurePlan().crash(1.5, 1))
+        cluster.run()
+        coordinators = {
+            r.site for r in cluster.tracer.where(category="coordinator", txn=txn.txn)
+        }
+        assert coordinators == {4}
+
+    def test_each_partition_elects_its_own(self, catalog):
+        cluster = Cluster(catalog, protocol="qtp1")
+        txn = cluster.update(origin=1, writes={"x": 1})
+        cluster.arm_failures(
+            FailurePlan().crash(1.5, 1).partition(1.5, [2, 3], [4])
+        )
+        cluster.run()
+        coordinators = {
+            r.site for r in cluster.tracer.where(category="coordinator", txn=txn.txn)
+        }
+        assert 3 in coordinators  # highest in {2,3}
+        assert 4 in coordinators  # alone in {4}
+
+    def test_lower_sites_defer(self, catalog):
+        cluster = Cluster(catalog, protocol="qtp1")
+        txn = cluster.update(origin=1, writes={"x": 1})
+        cluster.arm_failures(FailurePlan().crash(1.5, 1))
+        cluster.run()
+        # sites 2 and 3 started elections but deferred to 4
+        coordinators = {
+            r.site for r in cluster.tracer.where(category="coordinator", txn=txn.txn)
+        }
+        assert 2 not in coordinators and 3 not in coordinators
+
+    def test_death_of_winner_triggers_reelection(self, catalog):
+        cluster = Cluster(catalog, protocol="qtp1")
+        txn = cluster.update(origin=1, writes={"x": 1})
+        # site 4 wins the first election (~t=6) and dies mid-termination
+        cluster.arm_failures(FailurePlan().crash(1.5, 1).crash(6.5, 4))
+        cluster.run()
+        coordinators = {
+            r.site for r in cluster.tracer.where(category="coordinator", txn=txn.txn)
+        }
+        assert 3 in coordinators
+        report = cluster.outcome(txn.txn)
+        assert report.atomic
+        # sites 2,3 hold r(x)=2 votes -> termination aborts
+        assert set(report.aborted_sites) >= {2, 3}
+
+    def test_election_rounds_are_bounded(self, catalog):
+        """A deferring site whose higher peer can never conclude must
+        give up after a bounded number of election rounds, not livelock.
+
+        Setup: every termination state reply and blocked notice is
+        lost, so the elected coordinator (site 4) silently blocks on an
+        empty poll, while sites 2 and 3 keep deferring to it, retrying,
+        and eventually exhausting their round budget.
+        """
+        cluster = Cluster(catalog, protocol="qtp1")
+        txn = cluster.update(origin=1, writes={"x": 1})
+        cluster.network.add_filter(
+            lambda m: m.mtype.endswith(".t.state") or m.mtype.endswith(".t.blocked")
+        )
+        cluster.arm_failures(FailurePlan().crash(1.5, 1))
+        cluster.run()  # must terminate (give-up guard)
+        gave_up = cluster.tracer.where(
+            category="blocked",
+            txn=txn.txn,
+            pred=lambda r: r.detail.get("reason") == "election-rounds-exhausted",
+        )
+        assert gave_up  # at least one site hit the guard
+        assert cluster.outcome(txn.txn).atomic
+
+    def test_decided_site_shares_outcome_with_inquirer(self, catalog):
+        """An election inquiry to a decided site is answered with the
+        decision itself."""
+        cluster = Cluster(catalog, protocol="qtp1")
+        txn = cluster.update(origin=1, writes={"x": 1})
+        # cut site 2 off after the votes (t=2) but before it can enter
+        # PC; sites 1,3,4 hold w(x)=3 votes and commit early; after the
+        # heal, site 2's election inquiry reaches decided sites, which
+        # reply with the decision.
+        cluster.arm_failures(
+            FailurePlan().partition(2.5, [2], [1, 3, 4]).heal(30.0)
+        )
+        cluster.run()
+        report = cluster.outcome(txn.txn)
+        assert report.outcome == "commit"
+        assert 2 in report.committed_sites

@@ -1,0 +1,46 @@
+"""Smoke tests: every example script runs end to end.
+
+The examples are part of the public deliverable; these tests execute
+each one in-process (stdout captured by pytest) so a regression in the
+library surface breaks the build, not a user's first contact.
+"""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = "examples"
+
+
+def run_script(path: str, argv: list[str] | None = None):
+    old_argv = sys.argv
+    sys.argv = [path] + (argv or [])
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExampleScripts:
+    def test_quickstart(self):
+        run_script(f"{EXAMPLES}/quickstart.py")
+
+    def test_paper_examples(self):
+        run_script(f"{EXAMPLES}/paper_examples.py")
+
+    def test_bank_partition(self):
+        run_script(f"{EXAMPLES}/bank_partition.py")
+
+    def test_termination_walkthrough(self):
+        run_script(f"{EXAMPLES}/termination_walkthrough.py")
+
+    def test_wan_datacenters(self):
+        run_script(f"{EXAMPLES}/wan_datacenters.py")
+
+    def test_availability_study_small(self):
+        run_script(f"{EXAMPLES}/availability_study.py", ["--runs", "8"])
+
+    @pytest.mark.slow
+    def test_regenerate_experiments_small(self):
+        run_script(f"{EXAMPLES}/regenerate_experiments.py", ["--runs", "10"])

@@ -1,0 +1,69 @@
+"""Tests of the experiment harness itself (flows, sweeps, ablations)."""
+
+import math
+
+import pytest
+
+from repro.experiments.ablations import pairing_ablation, timeout_ablation
+from repro.experiments.flows import format_flow, latency_sweep, measure_commit
+from repro.experiments.sweeps import availability_sweep
+
+
+class TestMeasureCommit:
+    def test_metrics_shape(self):
+        metrics = measure_commit("qtp1", n_sites=4)
+        assert metrics.outcome == "commit"
+        assert metrics.total_messages > 0
+        assert not math.isnan(metrics.decision_time)
+        assert metrics.decision_time <= metrics.quiescence_time
+
+    def test_jitter_is_seed_deterministic(self):
+        a = measure_commit("qtp2", n_sites=5, seed=3, jitter=True)
+        b = measure_commit("qtp2", n_sites=5, seed=3, jitter=True)
+        assert a.decision_time == b.decision_time
+
+    def test_format_flow_renders(self):
+        text = format_flow(measure_commit("2pc", 3))
+        assert "2pc.vote-req" in text
+
+
+class TestLatencySweep:
+    def test_rows_cover_protocols(self):
+        rows = latency_sweep(("3pc", "qtp2"), n_sites=5, runs=10)
+        assert [r.protocol for r in rows] == ["3pc", "qtp2"]
+        for row in rows:
+            assert row.runs == 10
+            assert 0 < row.p50 <= row.p95
+
+    def test_ordering_claim_small(self):
+        rows = latency_sweep(n_sites=5, runs=20, r=2, w=4)
+        by = {r.protocol: r.mean for r in rows}
+        assert by["qtp2"] <= by["qtp1"] <= by["3pc"] + 1e-9
+
+
+class TestAvailabilitySweep:
+    def test_fractions_bounded(self):
+        rows = availability_sweep(("skq", "qtp1"), runs=8)
+        for row in rows:
+            assert 0.0 <= row.readable_fraction <= 1.0
+            assert 0.0 <= row.writable_fraction <= 1.0
+            assert row.violation_runs == 0
+
+    def test_same_seed_same_rows(self):
+        a = availability_sweep(("qtp1",), runs=6, base_seed=5)[0]
+        b = availability_sweep(("qtp1",), runs=6, base_seed=5)[0]
+        assert a.readable_fraction == b.readable_fraction
+        assert a.blocked_runs == b.blocked_runs
+
+
+class TestAblations:
+    def test_pairing_matrix(self):
+        results = {(r.commit_protocol, r.termination_rule): r for r in pairing_ablation()}
+        assert results[("qtp2", "qtp-termination-1")].atomic is False
+        safe = [v for k, v in results.items() if k != ("qtp2", "qtp-termination-1")]
+        assert all(r.atomic for r in safe)
+
+    @pytest.mark.parametrize("scale", [1.0, 0.25])
+    def test_timeouts_never_break_safety(self, scale):
+        rows = timeout_ablation(scales=(scale,), runs=8)
+        assert rows[0].violations == 0

@@ -1,0 +1,85 @@
+"""Integration tests for the missing-writes read fast path (E15)."""
+
+import pytest
+
+from repro import CatalogBuilder, Cluster, FailurePlan, QuorumUnreachableError
+
+
+@pytest.fixture
+def cluster():
+    catalog = CatalogBuilder().replicated_item("x", sites=[1, 2, 3, 4], r=2, w=3).build()
+    return Cluster(catalog, protocol="qtp1")
+
+
+class TestFastPath:
+    def test_failure_free_reads_consult_one_copy(self, cluster):
+        cluster.update(origin=1, writes={"x": 5})
+        cluster.run()
+        cluster.sync_missing_writes()
+        value, consulted = cluster.fast_read(2, "x")
+        assert value == 5
+        assert consulted == 1
+
+    def test_quorum_read_would_consult_r_copies(self, cluster):
+        cluster.update(origin=1, writes={"x": 5})
+        cluster.run()
+        assert len(cluster.read(2, "x").quorum) == 2  # r(x)
+
+    @staticmethod
+    def _commit_without_site4(cluster):
+        """Partition site 4 away, commit x=5 on the write quorum
+        {1,2,3}, then heal — leaving site 4's copy stale at v0."""
+        cluster.network.set_partition([[1, 2, 3], [4]])
+        cluster.update(origin=1, writes={"x": 5})
+        cluster.run()
+        cluster.network.heal()
+        cluster.run()
+        assert cluster.sites[4].store.read("x").version == 0
+
+    def test_stale_copy_disables_fast_path(self, cluster):
+        self._commit_without_site4(cluster)
+        cluster.sync_missing_writes()
+        assert not cluster.missing_writes.read_one_allowed("x")
+        value, consulted = cluster.fast_read(2, "x")
+        assert value == 5
+        assert consulted == 2  # fell back to the quorum
+
+    def test_repair_reenables_fast_path(self, cluster):
+        self._commit_without_site4(cluster)
+        cluster.sync_missing_writes()
+        refreshed = cluster.repair("x")
+        assert refreshed == 1
+        assert cluster.sites[4].store.read("x").value == 5
+        __, consulted = cluster.fast_read(2, "x")
+        assert consulted == 1
+
+    def test_fast_read_never_returns_stale(self, cluster):
+        """The fast path only engages when every copy is current, so a
+        single-copy read can never observe an old version."""
+        self._commit_without_site4(cluster)
+        cluster.sync_missing_writes()
+        # even reading "at" the stale site falls back to a quorum
+        value, consulted = cluster.fast_read(4, "x")
+        assert value == 5
+        assert consulted >= 2
+
+    def test_fast_read_blocked_everywhere_raises(self, cluster):
+        cluster.sync_missing_writes()
+        cluster.network.set_partition([[1], [2, 3, 4]])
+        # site 1 alone still serves the fast path (its copy is current)
+        value, consulted = cluster.fast_read(1, "x")
+        assert consulted == 1
+        # but a site with no reachable current copy cannot
+        empty = (
+            CatalogBuilder().replicated_item("y", sites=[2, 3], r=2, w=2).build()
+        )
+        isolated = Cluster(empty, protocol="qtp1", extra_sites=[9])
+        isolated.network.set_partition([[9], [2, 3]])
+        isolated.sync_missing_writes()
+        with pytest.raises(QuorumUnreachableError):
+            isolated.fast_read(9, "y")
+
+    def test_repair_with_all_hosts_down(self, cluster):
+        for site in (1, 2, 3, 4):
+            cluster.network.crash_site(site)
+        assert cluster.repair("x") == 0

@@ -1,0 +1,55 @@
+"""Randomized model-checking of atomic commitment (Theorem 1).
+
+Hundreds of random fault schedules per protocol; the safe protocols
+must never mix COMMIT and ABORT.  3PC is *expected* to violate — its
+termination protocol predates partition tolerance — which doubles as
+a sanity check that the harness can actually detect violations.
+"""
+
+import pytest
+
+from repro.experiments.sweeps import modelcheck, reenterability_storm
+
+
+class TestTheorem1:
+    @pytest.mark.parametrize("protocol", ["qtp1", "qtp2"])
+    def test_quorum_protocols_always_atomic(self, protocol):
+        result = modelcheck(protocol, runs=60, base_seed=100)
+        assert result.theorem_holds, f"violations at seeds {result.seeds_with_violation}"
+
+    def test_skeen_always_atomic(self):
+        result = modelcheck("skq", runs=40, base_seed=100)
+        assert result.theorem_holds
+
+    def test_twopc_always_atomic(self):
+        """2PC blocks rather than violates."""
+        result = modelcheck("2pc", runs=40, base_seed=100)
+        assert result.theorem_holds
+
+    def test_threepc_violates_under_partitions(self):
+        """The detector works: 3PC termination really is inconsistent."""
+        result = modelcheck("3pc", runs=40, base_seed=100)
+        assert not result.theorem_holds
+        assert result.mixed_runs > 0
+
+    @pytest.mark.parametrize("protocol", ["qtp1", "qtp2"])
+    def test_atomic_without_heal_too(self, protocol):
+        """Safety must not depend on the network ever healing."""
+        result = modelcheck(protocol, runs=40, base_seed=500, heal=False)
+        assert result.theorem_holds
+
+
+class TestReenterability:
+    @pytest.mark.parametrize("protocol", ["qtp1", "qtp2"])
+    def test_storms_reenter_and_stay_consistent(self, protocol):
+        result = reenterability_storm(protocol, runs=10, base_seed=7, waves=3)
+        assert result.all_consistent
+
+    def test_storms_actually_reenter(self):
+        """The storm must exercise repeated termination attempts."""
+        result = reenterability_storm("qtp1", runs=10, base_seed=7, waves=3)
+        assert result.total_term_attempts > result.runs
+
+    def test_storm_terminates_after_final_heal(self):
+        result = reenterability_storm("qtp1", runs=10, base_seed=7, waves=2)
+        assert result.terminated_runs == result.runs

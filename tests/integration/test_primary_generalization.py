@@ -1,0 +1,125 @@
+"""Tests for the §5 generalization: termination over primary copies."""
+
+import pytest
+
+from repro import CatalogBuilder, Cluster, FailurePlan
+from repro.common.errors import ConfigurationError
+from repro.experiments.sweeps import modelcheck
+from repro.protocols.base import Decision
+from repro.protocols.qtp.generalized import PrimaryTerminationRule
+from repro.protocols.states import TxnState
+from repro.replication.primary import PrimaryCopyStrategy
+from repro.workload.scenarios import example1_catalog
+
+W, PA, PC, A, C, Q = (
+    TxnState.W,
+    TxnState.PA,
+    TxnState.PC,
+    TxnState.A,
+    TxnState.C,
+    TxnState.Q,
+)
+
+
+class TestStrategy:
+    @pytest.fixture
+    def strategy(self):
+        return PrimaryCopyStrategy(example1_catalog(), {"x": 2, "y": 6})
+
+    def test_defaults_to_lowest_host(self):
+        strategy = PrimaryCopyStrategy(example1_catalog())
+        assert strategy.primary_of("x") == 1
+        assert strategy.primary_of("y") == 5
+
+    def test_primary_must_host_a_copy(self):
+        with pytest.raises(ConfigurationError, match="hosts no copy"):
+            PrimaryCopyStrategy(example1_catalog(), {"x": 7})
+
+    def test_unknown_item(self, strategy):
+        with pytest.raises(ConfigurationError, match="unknown item"):
+            strategy.primary_of("ghost")
+
+    def test_predicates(self, strategy):
+        assert strategy.holds_primary("x", [2, 3])
+        assert not strategy.holds_primary("x", [3, 4])
+        assert strategy.holds_all_primaries(["x", "y"], [2, 6])
+        assert not strategy.holds_all_primaries(["x", "y"], [2, 5])
+        assert strategy.holds_some_primary(["x", "y"], [6])
+        assert not strategy.holds_some_primary(["x", "y"], [3, 7])
+        assert not strategy.holds_all_primaries([], [2, 6])  # vacuous no
+
+
+class TestPrimaryRule:
+    @pytest.fixture
+    def rule(self):
+        return PrimaryTerminationRule(
+            PrimaryCopyStrategy(example1_catalog(), {"x": 2, "y": 6})
+        )
+
+    ITEMS = ["x", "y"]
+
+    def test_commit_when_all_primaries_in_pc(self, rule):
+        assert rule.evaluate(self.ITEMS, {2: PC, 6: PC}) is Decision.COMMIT
+
+    def test_no_commit_on_partial_primaries(self, rule):
+        assert rule.evaluate(self.ITEMS, {2: PC, 5: PC}) is not Decision.COMMIT
+
+    def test_abort_when_some_primary_in_pa(self, rule):
+        assert rule.evaluate(self.ITEMS, {2: PA, 3: W}) is Decision.ABORT
+
+    def test_try_abort_with_reachable_primary(self, rule):
+        assert rule.evaluate(self.ITEMS, {2: W, 3: W}) is Decision.TRY_ABORT
+
+    def test_block_without_any_primary(self, rule):
+        assert rule.evaluate(self.ITEMS, {3: W, 4: W, 5: PC}) is Decision.BLOCK
+
+    def test_try_commit_needs_pc_and_all_primaries(self, rule):
+        assert rule.evaluate(self.ITEMS, {2: W, 5: PC, 6: W}) is Decision.TRY_COMMIT
+
+    def test_rounds(self, rule):
+        assert rule.commit_round_ok(self.ITEMS, {2, 6})
+        assert not rule.commit_round_ok(self.ITEMS, {2})
+        assert rule.abort_round_ok(self.ITEMS, {6})
+        assert not rule.abort_round_ok(self.ITEMS, {3, 7})
+
+    def test_q_and_c_dominance(self, rule):
+        assert rule.evaluate(self.ITEMS, {2: Q, 6: PC}) is Decision.ABORT
+        assert rule.evaluate(self.ITEMS, {3: C}) is Decision.COMMIT
+
+
+class TestPrimaryEngineEndToEnd:
+    def test_fig3_partitions_with_primaries_terminate(self):
+        cluster = Cluster(
+            example1_catalog(), protocol="qtpp", primaries={"x": 2, "y": 6}
+        )
+        cluster.network.add_filter(
+            lambda m: m.mtype.endswith(".prepare") and m.dst != 5
+        )
+        txn = cluster.update(origin=1, writes={"x": 1, "y": 2})
+        cluster.arm_failures(
+            FailurePlan().crash(3.5, 1).partition(3.5, [1, 2, 3], [4, 5], [6, 7, 8])
+        )
+        cluster.run()
+        report = cluster.outcome(txn.txn)
+        assert report.atomic
+        states = cluster.states(txn.txn)
+        assert states[2] == "A" and states[3] == "A"  # G1 holds x's primary
+        assert states[6] == "A"  # G3 holds y's primary
+        assert states[4] == "W" and states[5] == "PC"  # G2 blocked
+
+    def test_early_commit_on_primary_acks(self):
+        catalog = CatalogBuilder().replicated_item("x", sites=[1, 2, 3, 4, 5], r=2, w=4).build()
+        cluster = Cluster(catalog, protocol="qtpp", primaries={"x": 2})
+        # only the primary's ack arrives
+        cluster.network.add_filter(
+            lambda m: m.mtype == "qtpp.ack" and m.src != 2
+        )
+        txn = cluster.update(origin=1, writes={"x": 9})
+        cluster.run()
+        assert cluster.outcome(txn.txn).outcome == "commit"
+        early = cluster.tracer.where(category="coord-early-commit", txn=txn.txn)
+        assert early and early[0].detail["ackers"] == [2]
+
+    def test_modelcheck_qtpp_atomic(self):
+        result = modelcheck("qtpp", runs=40, base_seed=300)
+        assert result.theorem_holds, result.seeds_with_violation

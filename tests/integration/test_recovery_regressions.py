@@ -1,0 +1,109 @@
+"""Named regression tests for recovery bugs found by hypothesis.
+
+The whole-run property search (tests/property/test_prop_runs.py) found
+that a site which *committed and then crashed* rebuilt no record for
+the decided transaction; a later termination poll materialized it as
+Q ("never voted"), which drives the immediate-abort branch — a new
+coordinator would then abort a committed transaction.  These tests pin
+the minimal schedule and the two layers of the fix.
+"""
+
+from repro import CatalogBuilder, Cluster, FailurePlan
+from repro.net.message import Message
+from repro.protocols.states import TxnState
+
+
+def minimal_schedule_cluster():
+    """The shrunk hypothesis counterexample: commit, mass crash, mass
+    recovery, then a straggler (site 3, crashed in W before learning
+    the outcome) runs termination against the recovered sites."""
+    catalog = CatalogBuilder().replicated_item("x", sites=[1, 2, 3, 4], r=2, w=3).build()
+    cluster = Cluster(catalog, protocol="qtp1")
+    cluster.update(origin=1, writes={"x": 42}, txn_id="T-reg")
+    plan = (
+        FailurePlan()
+        .crash(1.0, 3)   # site 3 dies right after voting yes
+        .crash(5.0, 1)   # the others die after committing
+        .crash(6.0, 2)
+        .crash(6.0, 4)
+        .heal(60.0)
+        .recover(61.0, 1)
+        .recover(61.0, 2)
+        .recover(61.0, 4)
+        .recover(63.0, 3)
+    )
+    cluster.arm_failures(plan)
+    cluster.run()
+    return cluster
+
+
+class TestDecidedRecoveryRegression:
+    def test_no_abort_after_commit(self):
+        cluster = minimal_schedule_cluster()
+        report = cluster.outcome("T-reg")
+        assert report.atomic
+        assert report.outcome == "commit"
+        assert set(report.committed_sites) == {1, 2, 3, 4}
+
+    def test_recovered_decided_site_rebuilds_terminal_record(self):
+        catalog = CatalogBuilder().replicated_item("x", sites=[1, 2, 3], r=2, w=2).build()
+        cluster = Cluster(catalog, protocol="qtp1")
+        txn = cluster.update(origin=1, writes={"x": 5})
+        cluster.run()
+        cluster.network.crash_site(2)
+        cluster.network.recover_site(2)
+        record = cluster.sites[2].engine.record(txn.txn)
+        assert record is not None
+        assert record.state is TxnState.C
+
+    def test_stale_attempt_does_not_reblock_after_recovery(self):
+        """Second hypothesis find (liveness): a termination attempt
+        polled while sites were still down must not land its BLOCK
+        verdict *after* they recover — the stale attempt would
+        broadcast blocked-notices that wedge the fresh epoch.  kick()
+        now invalidates in-flight attempts."""
+        catalog = CatalogBuilder().replicated_item("x", sites=[1, 2, 3, 4], r=2, w=3).build()
+        cluster = Cluster(catalog, protocol="qtp1")
+        cluster.update(origin=1, writes={"x": 1}, txn_id="T-live")
+        plan = (
+            FailurePlan()
+            .crash(1.0, 1)
+            .crash(1.0, 2)
+            .crash(1.0, 3)
+            .heal(50.0)  # site 4 starts a poll seeing only itself...
+            .recover(52.0, 1)  # ...while the others come back mid-attempt
+            .recover(52.0, 2)
+            .recover(52.0, 3)
+            .recover(53.0, 4)
+        )
+        cluster.arm_failures(plan)
+        cluster.run()
+        assert cluster.live_undecided("T-live") == []
+        report = cluster.outcome("T-live")
+        assert report.atomic
+        assert report.outcome == "abort"  # all-W epoch: r(x) votes abort
+
+    def test_poll_of_recovered_decided_site_reports_decision(self):
+        """Even with no rebuilt record, a state-req must be answered
+        from the WAL decision, never with Q."""
+        catalog = CatalogBuilder().replicated_item("x", sites=[1, 2, 3], r=2, w=2).build()
+        cluster = Cluster(catalog, protocol="qtp1")
+        txn = cluster.update(origin=1, writes={"x": 5})
+        cluster.run()
+        engine = cluster.sites[2].engine
+        engine._records.clear()  # simulate the pre-fix state
+        engine._on_term_state_req(
+            Message(
+                3,
+                2,
+                "qtp1.t.state-req",
+                txn.txn,
+                {
+                    "attempt": 1,
+                    "coordinator": 3,
+                    "writes": {"x": [5, 1]},
+                    "participants": [1, 2, 3],
+                },
+            )
+        )
+        assert engine.record(txn.txn).state is TxnState.C

@@ -1,0 +1,44 @@
+"""Tests of the vote-assignment study harness."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.experiments.vote_study import _policy_catalog, vote_assignment_study
+
+
+class TestPolicyCatalogs:
+    def test_uniform_majority(self):
+        catalog = _policy_catalog("uniform-majority", [1, 2, 3, 4, 5])
+        assert catalog.w("x") == 3
+        assert catalog.v("x") == 5
+
+    def test_read_one(self):
+        catalog = _policy_catalog("read-one", [1, 2, 3, 4])
+        assert catalog.r("x") == 1
+        assert catalog.w("x") == 4
+
+    def test_primary_weighted(self):
+        catalog = _policy_catalog("primary-weighted", [1, 2, 3, 4])
+        assert catalog.votes("x", [1]) == 3
+        assert catalog.v("x") == 6
+        # Gifford constraints still hold (validated at build)
+        assert catalog.r("x") + catalog.w("x") > catalog.v("x")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            _policy_catalog("anarchy", [1, 2])
+
+
+class TestStudy:
+    def test_rows_and_determinism(self):
+        a = vote_assignment_study(runs=6)
+        b = vote_assignment_study(runs=6)
+        assert [r.policy for r in a] == list(
+            ("uniform-majority", "read-one", "primary-weighted")
+        )
+        for ra, rb in zip(a, b):
+            assert ra == rb
+
+    def test_no_violations_anywhere(self):
+        for row in vote_assignment_study(runs=6):
+            assert row.violations == 0

@@ -1,0 +1,54 @@
+"""Tests of the live-workload study harness (E17)."""
+
+import pytest
+
+from repro.experiments.workload_study import run_workload, workload_study
+
+
+class TestRunWorkload:
+    def test_tallies_are_complete(self):
+        result = run_workload("qtp1", n_txns=12, seed=3)
+        total = (
+            result.committed
+            + result.client_aborted
+            + result.protocol_aborted
+            + result.blocked
+        )
+        assert total == result.submitted
+        assert result.submitted > 0
+
+    def test_every_run_serializable(self):
+        for seed in range(4):
+            assert run_workload("qtp2", n_txns=12, seed=seed).serializable
+
+    def test_deterministic(self):
+        a = run_workload("qtp1", n_txns=12, seed=5)
+        b = run_workload("qtp1", n_txns=12, seed=5)
+        assert a.txn_outcomes == b.txn_outcomes
+
+    def test_partition_actually_causes_friction(self):
+        """With the partition window covering the whole run, some
+        transactions must fail to commit (otherwise the episode tested
+        nothing)."""
+        result = run_workload("qtp1", n_txns=16, seed=1, partition_window=(2.0, 200.0))
+        assert result.committed < result.submitted
+
+    def test_outcomes_vocabulary(self):
+        result = run_workload("2pc", n_txns=10, seed=2)
+        assert set(result.txn_outcomes.values()) <= {
+            "commit",
+            "abort",
+            "blocked",
+            "client-aborted",
+        }
+
+
+class TestStudy:
+    def test_aggregation(self):
+        rows = workload_study(("qtp1",), runs=2, n_txns=8)
+        assert rows[0].submitted > 0
+        assert rows[0].serializable
+
+    def test_protocols_see_same_seeds(self):
+        rows = workload_study(("qtp1", "qtp2"), runs=2, n_txns=8)
+        assert rows[0].submitted == rows[1].submitted

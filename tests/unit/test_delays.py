@@ -1,0 +1,45 @@
+"""Unit tests for delay models."""
+
+import random
+
+import pytest
+
+from repro.net.delays import FixedDelay, UniformDelay
+
+
+class TestFixedDelay:
+    def test_constant(self):
+        model = FixedDelay(2.5)
+        rng = random.Random(0)
+        assert model.sample(rng, 1, 2) == 2.5
+        assert model.max_delay == 2.5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            FixedDelay(0)
+        with pytest.raises(ValueError):
+            FixedDelay(-1)
+
+
+class TestUniformDelay:
+    def test_samples_within_bounds(self):
+        model = UniformDelay(0.5, 2.0)
+        rng = random.Random(1)
+        for __ in range(200):
+            delay = model.sample(rng, 1, 2)
+            assert 0.5 <= delay <= 2.0
+
+    def test_max_delay_is_upper_bound(self):
+        assert UniformDelay(0.1, 3.0).max_delay == 3.0
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            UniformDelay(2.0, 1.0)
+        with pytest.raises(ValueError):
+            UniformDelay(0.0, 1.0)
+
+    def test_deterministic_under_seed(self):
+        model = UniformDelay(0.1, 1.0)
+        a = [model.sample(random.Random(5), 1, 2) for __ in range(3)]
+        b = [model.sample(random.Random(5), 1, 2) for __ in range(3)]
+        assert a == b

@@ -1,0 +1,69 @@
+"""Unit tests for the failure plan and injector."""
+
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.sim.failures import FailureInjector, FailurePlan
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import Tracer
+
+
+def make_net():
+    scheduler = Scheduler()
+    network = Network(scheduler, Tracer(), RngRegistry(0))
+    for i in (1, 2, 3, 4):
+        Node(i, network)
+    return scheduler, network
+
+
+class TestPlanBuilding:
+    def test_chaining(self):
+        plan = FailurePlan().crash(1.0, 2).recover(5.0, 2).heal(9.0)
+        assert len(plan) == 3
+
+    def test_describe_sorted_by_time(self):
+        plan = FailurePlan().heal(9.0).crash(1.0, 2)
+        lines = plan.describe().splitlines()
+        assert lines[0].startswith("t=1")
+
+    def test_sever_both_adds_two_actions(self):
+        plan = FailurePlan().sever_both(1.0, 2, 3)
+        assert len(plan) == 2
+
+
+class TestInjection:
+    def test_crash_and_recover_applied_at_times(self):
+        scheduler, network = make_net()
+        injector = FailureInjector(scheduler, network)
+        injector.arm(FailurePlan().crash(2.0, 1).recover(5.0, 1))
+        scheduler.run_until(3.0)
+        assert not network.node(1).alive
+        scheduler.run()
+        assert network.node(1).alive
+        assert len(injector.applied) == 2
+
+    def test_partition_and_heal(self):
+        scheduler, network = make_net()
+        FailureInjector(scheduler, network).arm(
+            FailurePlan().partition(1.0, [1, 2], [3, 4]).heal(4.0)
+        )
+        scheduler.run_until(2.0)
+        assert not network.partition.reachable(1, 3)
+        scheduler.run()
+        assert network.partition.reachable(1, 3)
+
+    def test_sever_applied(self):
+        scheduler, network = make_net()
+        FailureInjector(scheduler, network).arm(FailurePlan().sever(1.0, 1, 2))
+        scheduler.run()
+        # directed loss installed: 1 -> 2 drops, 2 -> 1 passes
+        assert network._link_loss == {(1, 2): 1.0}
+
+    def test_events_are_traced(self):
+        scheduler, network = make_net()
+        FailureInjector(scheduler, network).arm(
+            FailurePlan().crash(1.0, 1).partition(2.0, [1, 2], [3, 4])
+        )
+        scheduler.run()
+        assert network.tracer.count("crash") == 1
+        assert network.tracer.count("partition") == 1

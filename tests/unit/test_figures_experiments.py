@@ -1,0 +1,53 @@
+"""Unit tests for the figure-level experiment runners (E5, E6/E9)."""
+
+from repro.experiments.figures import (
+    DECISION_MATRIX_CASES,
+    run_decision_matrix,
+    run_fig4,
+)
+
+
+class TestFig4Runner:
+    def test_argument_has_five_steps(self):
+        result = run_fig4(4)
+        assert len(result.argument) == 5
+
+    def test_format_includes_table_and_steps(self):
+        text = run_fig4(4).format()
+        assert "PS1" in text
+        assert "impossibility" in text
+        assert "1." in text and "5." in text
+
+
+class TestDecisionMatrixRunner:
+    def test_rows_cover_all_cases(self):
+        matrix = run_decision_matrix()
+        assert len(matrix.rows) == len(DECISION_MATRIX_CASES)
+        assert matrix.rules == [
+            "qtp-termination-1",
+            "qtp-termination-2",
+            "skeen-site-quorum",
+        ]
+
+    def test_every_cell_is_a_decision_value(self):
+        matrix = run_decision_matrix()
+        valid = {"commit", "abort", "try-commit", "try-abort", "block"}
+        for __, decisions in matrix.rows:
+            assert set(decisions) <= valid
+
+    def test_format_aligns_rules(self):
+        text = run_decision_matrix().format()
+        assert "qtp-termination-1" in text
+        assert "G1 of Example 1" in text
+
+    def test_custom_rules(self):
+        from repro.protocols.threepc import ThreePCTerminationRule
+
+        matrix = run_decision_matrix([ThreePCTerminationRule()])
+        assert matrix.rules == ["3pc-skeen"]
+        # 3PC's rule runs a prepare round (try-commit) whenever a
+        # committable state is present, and commits unconditionally
+        # only on an actual C witness
+        rows = dict(matrix.rows)
+        assert rows["full partition, all in PC"] == ["try-commit"]
+        assert rows["one participant committed"] == ["commit"]

@@ -1,0 +1,101 @@
+"""Unit tests for the random workload / placement / fault generators."""
+
+import random
+
+import pytest
+
+from repro.sim.failures import CrashSite, PartitionNetwork
+from repro.workload.generators import (
+    random_catalog,
+    random_fault_plan,
+    random_partition_groups,
+    random_update,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+class TestRandomCatalog:
+    def test_respects_counts(self, rng):
+        catalog = random_catalog(rng, n_sites=8, n_items=4, replication=3)
+        assert len(catalog.item_names) == 4
+        for item in catalog.item_names:
+            assert len(catalog.sites_of(item)) == 3
+            assert catalog.v(item) == 3
+
+    def test_constraints_always_hold(self):
+        """The constructor validates; 200 seeds must all build."""
+        for seed in range(200):
+            catalog = random_catalog(random.Random(seed), n_sites=6, n_items=3, replication=4)
+            for item in catalog.item_names:
+                r, w, v = catalog.r(item), catalog.w(item), catalog.v(item)
+                assert r + w > v and 2 * w > v
+
+    def test_replication_beyond_sites_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_catalog(rng, n_sites=3, replication=5)
+
+    def test_deterministic_in_seed(self):
+        a = random_catalog(random.Random(7), 8, 4, 3)
+        b = random_catalog(random.Random(7), 8, 4, 3)
+        for item in a.item_names:
+            assert a.sites_of(item) == b.sites_of(item)
+            assert (a.r(item), a.w(item)) == (b.r(item), b.w(item))
+
+
+class TestRandomUpdate:
+    def test_origin_hosts_first_item(self, rng):
+        catalog = random_catalog(rng, 8, 4, 3)
+        for __ in range(50):
+            origin, writes = random_update(rng, catalog, max_items=2)
+            assert writes
+            assert any(origin in catalog.sites_of(item) for item in writes)
+
+    def test_items_exist(self, rng):
+        catalog = random_catalog(rng, 8, 4, 3)
+        __, writes = random_update(rng, catalog)
+        for item in writes:
+            assert item in catalog
+
+
+class TestRandomPartition:
+    def test_groups_partition_the_sites(self, rng):
+        sites = list(range(1, 9))
+        groups = random_partition_groups(rng, sites, 3)
+        assert len(groups) == 3
+        flat = [s for g in groups for s in g]
+        assert sorted(flat) == sites
+        assert all(g for g in groups)
+
+    def test_too_many_groups_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_partition_groups(rng, [1, 2], 3)
+
+
+class TestRandomFaultPlan:
+    def test_contains_crash_and_partition(self, rng):
+        plan = random_fault_plan(rng, sites=[1, 2, 3, 4], coordinator=1)
+        kinds = [type(a) for a in plan.actions]
+        assert CrashSite in kinds
+        assert PartitionNetwork in kinds
+
+    def test_times_within_window(self, rng):
+        plan = random_fault_plan(
+            rng, sites=[1, 2, 3, 4], coordinator=1, t_window=(2.0, 3.0)
+        )
+        for action in plan.actions:
+            assert 2.0 <= action.time <= 3.0
+
+    def test_heal_appended(self, rng):
+        plan = random_fault_plan(rng, [1, 2, 3], 1, heal_at=50.0)
+        assert any(a.time == 50.0 for a in plan.actions)
+
+    def test_extra_crashes_capped_by_pool(self, rng):
+        plan = random_fault_plan(
+            rng, sites=[1, 2], coordinator=1, n_extra_crashes=10
+        )
+        crashes = [a for a in plan.actions if isinstance(a, CrashSite)]
+        assert len(crashes) <= 2

@@ -1,0 +1,147 @@
+"""Unit tests for the lock manager and deadlock detection."""
+
+from repro.concurrency.deadlock import build_waits_for, choose_victim, find_deadlock
+from repro.concurrency.locks import LockManager, LockMode
+
+
+class TestBasicLocking:
+    def test_exclusive_excludes(self):
+        lm = LockManager(1)
+        assert lm.acquire("T1", "x", LockMode.EXCLUSIVE)
+        assert not lm.acquire("T2", "x", LockMode.EXCLUSIVE)
+
+    def test_shared_locks_coexist(self):
+        lm = LockManager(1)
+        assert lm.acquire("T1", "x", LockMode.SHARED)
+        assert lm.acquire("T2", "x", LockMode.SHARED)
+
+    def test_shared_blocks_exclusive(self):
+        lm = LockManager(1)
+        lm.acquire("T1", "x", LockMode.SHARED)
+        assert not lm.acquire("T2", "x", LockMode.EXCLUSIVE)
+
+    def test_reacquire_is_granted(self):
+        lm = LockManager(1)
+        lm.acquire("T1", "x", LockMode.EXCLUSIVE)
+        assert lm.acquire("T1", "x", LockMode.EXCLUSIVE)
+        assert lm.acquire("T1", "x", LockMode.SHARED)  # X covers S
+
+    def test_sole_holder_upgrade(self):
+        lm = LockManager(1)
+        lm.acquire("T1", "x", LockMode.SHARED)
+        assert lm.acquire("T1", "x", LockMode.EXCLUSIVE)
+        assert lm.holder_modes("x")["T1"] is LockMode.EXCLUSIVE
+
+    def test_upgrade_blocked_by_other_sharer(self):
+        lm = LockManager(1)
+        lm.acquire("T1", "x", LockMode.SHARED)
+        lm.acquire("T2", "x", LockMode.SHARED)
+        assert not lm.acquire("T1", "x", LockMode.EXCLUSIVE)
+
+
+class TestTryAcquire:
+    def test_try_acquire_never_queues(self):
+        lm = LockManager(1)
+        lm.acquire("T1", "x", LockMode.EXCLUSIVE)
+        assert not lm.try_acquire("T2", "x", LockMode.EXCLUSIVE)
+        assert lm.waiting("x") == []
+
+    def test_try_acquire_grants_when_free(self):
+        lm = LockManager(1)
+        assert lm.try_acquire("T1", "x", LockMode.EXCLUSIVE)
+        assert lm.held_by("T1") == ["x"]
+
+    def test_try_acquire_upgrade(self):
+        lm = LockManager(1)
+        lm.try_acquire("T1", "x", LockMode.SHARED)
+        assert lm.try_acquire("T1", "x", LockMode.EXCLUSIVE)
+
+
+class TestReleaseAndWake:
+    def test_release_wakes_fifo(self):
+        lm = LockManager(1)
+        granted = []
+        lm.acquire("T1", "x", LockMode.EXCLUSIVE)
+        lm.acquire("T2", "x", LockMode.EXCLUSIVE, on_grant=lambda: granted.append("T2"))
+        lm.acquire("T3", "x", LockMode.EXCLUSIVE, on_grant=lambda: granted.append("T3"))
+        lm.release_all("T1")
+        assert granted == ["T2"]
+        lm.release_all("T2")
+        assert granted == ["T2", "T3"]
+
+    def test_release_wakes_compatible_prefix(self):
+        lm = LockManager(1)
+        granted = []
+        lm.acquire("T1", "x", LockMode.EXCLUSIVE)
+        lm.acquire("T2", "x", LockMode.SHARED, on_grant=lambda: granted.append("T2"))
+        lm.acquire("T3", "x", LockMode.SHARED, on_grant=lambda: granted.append("T3"))
+        lm.release_all("T1")
+        assert granted == ["T2", "T3"]
+
+    def test_release_returns_items(self):
+        lm = LockManager(1)
+        lm.acquire("T1", "x", LockMode.EXCLUSIVE)
+        lm.acquire("T1", "y", LockMode.SHARED)
+        assert sorted(lm.release_all("T1")) == ["x", "y"]
+
+    def test_release_drops_queued_requests(self):
+        lm = LockManager(1)
+        lm.acquire("T1", "x", LockMode.EXCLUSIVE)
+        lm.acquire("T2", "x", LockMode.EXCLUSIVE)
+        lm.release_all("T2")  # T2 gives up while queued
+        assert lm.waiting("x") == []
+
+    def test_fifo_prevents_queue_jumping(self):
+        lm = LockManager(1)
+        lm.acquire("T1", "x", LockMode.SHARED)
+        lm.acquire("T2", "x", LockMode.EXCLUSIVE)  # queued
+        # T3's shared request is compatible with T1 but must not jump T2
+        assert not lm.acquire("T3", "x", LockMode.SHARED)
+
+
+class TestIntrospection:
+    def test_is_locked_unrestricted(self):
+        lm = LockManager(1)
+        assert not lm.is_locked("x")
+        lm.acquire("T1", "x", LockMode.SHARED)
+        assert lm.is_locked("x")
+
+    def test_is_locked_filtered_by_txn_set(self):
+        lm = LockManager(1)
+        lm.acquire("T1", "x", LockMode.EXCLUSIVE)
+        assert lm.is_locked("x", {"T1"})
+        assert not lm.is_locked("x", {"T9"})
+
+    def test_waits_edges(self):
+        lm = LockManager(1)
+        lm.acquire("T1", "x", LockMode.EXCLUSIVE)
+        lm.acquire("T2", "x", LockMode.EXCLUSIVE)
+        assert lm.waits_edges() == [("T2", "T1")]
+
+
+class TestDeadlock:
+    def _cycle(self):
+        lm1, lm2 = LockManager(1), LockManager(2)
+        lm1.acquire("T1", "x", LockMode.EXCLUSIVE)
+        lm2.acquire("T2", "y", LockMode.EXCLUSIVE)
+        lm1.acquire("T2", "x", LockMode.EXCLUSIVE)  # T2 waits on T1
+        lm2.acquire("T1", "y", LockMode.EXCLUSIVE)  # T1 waits on T2
+        return [lm1, lm2]
+
+    def test_detects_cross_site_cycle(self):
+        cycle = find_deadlock(self._cycle())
+        assert cycle is not None
+        assert set(cycle) == {"T1", "T2"}
+
+    def test_no_cycle_returns_none(self):
+        lm = LockManager(1)
+        lm.acquire("T1", "x", LockMode.EXCLUSIVE)
+        lm.acquire("T2", "x", LockMode.EXCLUSIVE)
+        assert find_deadlock([lm]) is None
+
+    def test_victim_is_greatest(self):
+        assert choose_victim(["T1", "T3", "T2"]) == "T3"
+
+    def test_waits_for_graph_nodes(self):
+        graph = build_waits_for(self._cycle())
+        assert set(graph.nodes) == {"T1", "T2"}

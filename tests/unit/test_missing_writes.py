@@ -1,0 +1,50 @@
+"""Unit tests for the missing-writes tracker (Eager & Sevcik extension)."""
+
+from repro.replication.missing_writes import MissingWritesTracker
+
+
+class TestTracking:
+    def test_initially_read_one_allowed(self):
+        tracker = MissingWritesTracker()
+        assert tracker.read_one_allowed("x")
+
+    def test_unreached_copy_records_missing_write(self):
+        tracker = MissingWritesTracker()
+        tracker.record_write("x", 1, all_sites=[1, 2, 3], reached=[1, 2])
+        assert not tracker.copy_is_current("x", 3)
+        assert tracker.copy_is_current("x", 1)
+        assert not tracker.read_one_allowed("x")
+
+    def test_repair_clears_missing(self):
+        tracker = MissingWritesTracker()
+        tracker.record_write("x", 1, [1, 2, 3], [1, 2])
+        tracker.record_write("x", 2, [1, 2, 3], [1, 2])
+        tracker.record_repair("x", 3, through_version=2)
+        assert tracker.copy_is_current("x", 3)
+        assert tracker.read_one_allowed("x")
+
+    def test_partial_repair_keeps_newer_gaps(self):
+        tracker = MissingWritesTracker()
+        tracker.record_write("x", 1, [1, 2], [1])
+        tracker.record_write("x", 2, [1, 2], [1])
+        tracker.record_repair("x", 2, through_version=1)
+        assert not tracker.copy_is_current("x", 2)
+        assert tracker.missing_map("x")[2] == {2}
+
+    def test_repair_of_current_copy_is_noop(self):
+        tracker = MissingWritesTracker()
+        tracker.record_repair("x", 1, through_version=5)
+        assert tracker.copy_is_current("x", 1)
+
+    def test_items_tracked_independently(self):
+        tracker = MissingWritesTracker()
+        tracker.record_write("x", 1, [1, 2], [1])
+        assert tracker.read_one_allowed("y")
+        assert not tracker.read_one_allowed("x")
+
+    def test_missing_map_is_defensive_copy(self):
+        tracker = MissingWritesTracker()
+        tracker.record_write("x", 1, [1, 2], [1])
+        snapshot = tracker.missing_map("x")
+        snapshot[2].add(99)
+        assert tracker.missing_map("x")[2] == {1}

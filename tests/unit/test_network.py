@@ -1,0 +1,207 @@
+"""Unit tests for the network facade and node actors."""
+
+import pytest
+
+from repro.common.errors import SiteDownError
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import Tracer
+
+
+class Recorder(Node):
+    """Test node that records everything it receives."""
+
+    def __init__(self, node_id, network):
+        super().__init__(node_id, network)
+        self.received = []
+        self.on("test.ping", self.received.append)
+
+
+@pytest.fixture
+def net():
+    scheduler = Scheduler()
+    network = Network(scheduler, Tracer(), RngRegistry(0))
+    nodes = {i: Recorder(i, network) for i in (1, 2, 3)}
+    return scheduler, network, nodes
+
+
+class TestDelivery:
+    def test_message_delivered_after_delay(self, net):
+        scheduler, network, nodes = net
+        nodes[1].send(2, "test.ping", "T1")
+        scheduler.run()
+        assert len(nodes[2].received) == 1
+        assert scheduler.now == 1.0  # FixedDelay(1) default
+
+    def test_self_send_has_zero_delay(self, net):
+        scheduler, network, nodes = net
+        nodes[1].send(1, "test.ping")
+        scheduler.run()
+        assert len(nodes[1].received) == 1
+        assert scheduler.now == 0.0
+
+    def test_broadcast_excludes_self(self, net):
+        scheduler, network, nodes = net
+        nodes[1].broadcast([1, 2, 3], "test.ping")
+        scheduler.run()
+        assert len(nodes[1].received) == 0
+        assert len(nodes[2].received) == 1
+        assert len(nodes[3].received) == 1
+
+    def test_unhandled_type_is_traced_not_raised(self, net):
+        scheduler, network, nodes = net
+        nodes[1].send(2, "test.unknown")
+        scheduler.run()
+        assert network.tracer.count("unhandled") == 1
+
+    def test_duplicate_node_id_rejected(self, net):
+        __, network, __nodes = net
+        with pytest.raises(ValueError, match="duplicate"):
+            Recorder(1, network)
+
+    def test_duplicate_handler_rejected(self, net):
+        __, __, nodes = net
+        with pytest.raises(ValueError, match="duplicate handler"):
+            nodes[1].on("test.ping", lambda m: None)
+
+
+class TestDrops:
+    def test_crashed_destination_drops(self, net):
+        scheduler, network, nodes = net
+        network.crash_site(2)
+        nodes[1].send(2, "test.ping")
+        scheduler.run()
+        assert nodes[2].received == []
+        assert network.dropped == 1
+
+    def test_crashed_sender_cannot_send(self, net):
+        __, network, nodes = net
+        network.crash_site(1)
+        with pytest.raises(SiteDownError):
+            nodes[1].send(2, "test.ping")
+
+    def test_partition_drops_at_send(self, net):
+        scheduler, network, nodes = net
+        network.set_partition([[1], [2, 3]])
+        nodes[1].send(2, "test.ping")
+        scheduler.run()
+        assert nodes[2].received == []
+
+    def test_partition_drops_in_flight(self, net):
+        scheduler, network, nodes = net
+        nodes[1].send(2, "test.ping")  # delivery due at t=1
+        scheduler.call_at(0.5, network.set_partition, [[1], [2, 3]])
+        scheduler.run()
+        assert nodes[2].received == []
+        drops = network.tracer.where(category="drop")
+        assert drops[0].detail["reason"] == "partitioned-in-flight"
+
+    def test_crash_in_flight_drops(self, net):
+        scheduler, network, nodes = net
+        nodes[1].send(2, "test.ping")
+        scheduler.call_at(0.5, network.crash_site, 2)
+        scheduler.run()
+        assert nodes[2].received == []
+
+    def test_link_loss_p1_severs(self, net):
+        scheduler, network, nodes = net
+        network.set_link_loss(1, 2, 1.0)
+        nodes[1].send(2, "test.ping")
+        nodes[2].send(1, "test.ping")  # reverse direction unaffected
+        scheduler.run()
+        assert nodes[2].received == []
+        assert len(nodes[1].received) == 1
+
+    def test_filter_drops_matching(self, net):
+        scheduler, network, nodes = net
+        network.add_filter(lambda m: m.dst == 3)
+        nodes[1].send(2, "test.ping")
+        nodes[1].send(3, "test.ping")
+        scheduler.run()
+        assert len(nodes[2].received) == 1
+        assert nodes[3].received == []
+        network.clear_filters()
+        nodes[1].send(3, "test.ping")
+        scheduler.run()
+        assert len(nodes[3].received) == 1
+
+    def test_heal_clears_loss_and_partition(self, net):
+        scheduler, network, nodes = net
+        network.set_partition([[1], [2, 3]])
+        network.set_link_loss(1, 2, 1.0)
+        network.heal()
+        nodes[1].send(2, "test.ping")
+        scheduler.run()
+        assert len(nodes[2].received) == 1
+
+    def test_invalid_loss_probability(self, net):
+        __, network, __nodes = net
+        with pytest.raises(ValueError):
+            network.set_link_loss(1, 2, 1.5)
+
+
+class TestReachability:
+    def test_reachable_from_respects_partition(self, net):
+        __, network, __nodes = net
+        network.set_partition([[1, 2], [3]])
+        assert network.reachable_from(1) == [1, 2]
+
+    def test_reachable_from_excludes_crashed(self, net):
+        __, network, __nodes = net
+        network.crash_site(2)
+        assert network.reachable_from(1) == [1, 3]
+
+    def test_reachable_from_restricted_pool(self, net):
+        __, network, __nodes = net
+        assert network.reachable_from(1, among=[2, 3]) == [2, 3]
+
+    def test_active_sites(self, net):
+        __, network, __nodes = net
+        network.crash_site(3)
+        assert network.active_sites() == [1, 2]
+        network.recover_site(3)
+        assert network.active_sites() == [1, 2, 3]
+
+
+class TestCrashRecovery:
+    def test_crash_cancels_timers(self, net):
+        scheduler, network, nodes = net
+        fired = []
+        nodes[1].set_timer(5.0, fired.append, "x")
+        network.crash_site(1)
+        scheduler.run()
+        assert fired == []
+
+    def test_timer_on_down_site_rejected(self, net):
+        __, network, nodes = net
+        network.crash_site(1)
+        with pytest.raises(SiteDownError):
+            nodes[1].set_timer(1.0, lambda: None)
+
+    def test_observer_notified_on_partition_heal_recover(self, net):
+        __, network, __nodes = net
+        events = []
+        network.subscribe(events.append)
+        network.set_partition([[1], [2, 3]])
+        network.heal()
+        network.crash_site(1)  # crash alone does not notify
+        network.recover_site(1)
+        assert events == ["partition", "heal", "recover"]
+
+
+class TestMessage:
+    def test_family_prefix(self):
+        msg = Message(1, 2, "qtp1.vote-req", "T1")
+        assert msg.family == "qtp1"
+
+    def test_msg_ids_unique(self):
+        a = Message(1, 2, "x.y")
+        b = Message(1, 2, "x.y")
+        assert a.msg_id != b.msg_id
+
+    def test_str_rendering(self):
+        msg = Message(1, 2, "x.y", "T9", {"k": 1})
+        assert "1->2" in str(msg) and "T9" in str(msg)

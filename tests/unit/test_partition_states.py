@@ -1,0 +1,132 @@
+"""Unit tests for the Fig. 4 partition-state theory."""
+
+import pytest
+
+from repro.analysis.partition_states import (
+    PartitionState,
+    classify_partition,
+    concurrency_sets,
+    format_concurrency_table,
+    impossibility_argument,
+    reachable_global_states,
+)
+from repro.protocols.states import TxnState
+
+Q, W, PA, PC, A, C = (
+    TxnState.Q,
+    TxnState.W,
+    TxnState.PA,
+    TxnState.PC,
+    TxnState.A,
+    TxnState.C,
+)
+
+
+class TestClassification:
+    def test_ps1_initial_no_abort(self):
+        assert classify_partition([Q, W]) is PartitionState.PS1
+        assert classify_partition([Q]) is PartitionState.PS1
+
+    def test_ps2_all_wait(self):
+        assert classify_partition([W, W, W]) is PartitionState.PS2
+
+    def test_ps3_any_abort(self):
+        assert classify_partition([A, W]) is PartitionState.PS3
+        assert classify_partition([A, Q]) is PartitionState.PS3  # A beats Q
+
+    def test_ps4_mixed_pc_w(self):
+        assert classify_partition([PC, W]) is PartitionState.PS4
+
+    def test_ps5_all_pc(self):
+        assert classify_partition([PC, PC]) is PartitionState.PS5
+
+    def test_ps6_any_commit(self):
+        assert classify_partition([C, W]) is PartitionState.PS6
+        assert classify_partition([C, PC]) is PartitionState.PS6
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            classify_partition([])
+
+    def test_pa_out_of_alphabet(self):
+        with pytest.raises(ValueError, match="PA"):
+            classify_partition([PA, W])
+
+    def test_exclusive_and_exhaustive(self):
+        """Every multiset over the 3PC alphabet classifies to exactly one PS."""
+        import itertools
+
+        alphabet = [Q, W, PC, A, C]
+        for combo in itertools.product(alphabet, repeat=3):
+            ps = classify_partition(list(combo))
+            assert isinstance(ps, PartitionState)
+
+
+class TestReachableGlobalStates:
+    def test_no_q_with_pc(self):
+        """PREPARE requires a unanimous yes, so Q excludes PC/C."""
+        for vector in reachable_global_states(3):
+            present = set(vector)
+            if Q in present:
+                assert PC not in present and C not in present
+
+    def test_no_a_with_pc_or_c(self):
+        for vector in reachable_global_states(3):
+            present = set(vector)
+            if A in present:
+                assert PC not in present and C not in present
+
+    def test_w_c_mix_reachable(self):
+        """A lost PREPARE leaves W while others commit."""
+        assert (W, C) in set(reachable_global_states(2)) or (C, W) in set(
+            reachable_global_states(2)
+        )
+
+    def test_all_w_reachable(self):
+        assert (W, W, W) in set(reachable_global_states(3))
+
+
+class TestConcurrencySets:
+    @pytest.fixture(scope="class")
+    def sets(self):
+        return concurrency_sets(5)
+
+    def test_paper_claims(self, sets):
+        """The claims the §2 argument cites, against the derived table."""
+        assert PartitionState.PS3 in sets[PartitionState.PS1]
+        assert PartitionState.PS3 in sets[PartitionState.PS2]
+        assert PartitionState.PS6 in sets[PartitionState.PS5]
+        assert PartitionState.PS2 in sets[PartitionState.PS5]
+        assert PartitionState.PS5 in sets[PartitionState.PS2]
+        assert PartitionState.PS2 in sets[PartitionState.PS4]
+        assert PartitionState.PS5 in sets[PartitionState.PS4]
+
+    def test_voting_era_isolated_from_prepared_era(self, sets):
+        """PS1/PS3 (voting era evidence) never coexist with PS5/PS6."""
+        for voting in (PartitionState.PS1, PartitionState.PS3):
+            assert PartitionState.PS5 not in sets[voting]
+            assert PartitionState.PS6 not in sets[voting]
+
+    def test_symmetry(self, sets):
+        for ps, others in sets.items():
+            for other in others:
+                assert ps in sets[other]
+
+    def test_stable_at_larger_n(self, sets):
+        assert concurrency_sets(6) == sets
+
+    def test_table_renders(self, sets):
+        table = format_concurrency_table(sets)
+        assert "PS1" in table and "C(PS)" in table
+
+
+class TestImpossibility:
+    def test_argument_verifies(self):
+        steps = impossibility_argument()
+        assert len(steps) == 5
+        assert "PS2" in steps[0].claim
+
+    def test_argument_uses_given_sets(self):
+        sets = concurrency_sets(5)
+        steps = impossibility_argument(sets)
+        assert steps  # all assertions inside passed

@@ -1,0 +1,144 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.scheduler import Scheduler
+
+
+class TestScheduling:
+    def test_starts_at_time_zero(self, scheduler):
+        assert scheduler.now == 0.0
+
+    def test_call_at_runs_at_absolute_time(self, scheduler):
+        seen = []
+        scheduler.call_at(5.0, lambda: seen.append(scheduler.now))
+        scheduler.run()
+        assert seen == [5.0]
+
+    def test_call_after_is_relative(self, scheduler):
+        seen = []
+        scheduler.call_at(3.0, lambda: scheduler.call_after(2.0, lambda: seen.append(scheduler.now)))
+        scheduler.run()
+        assert seen == [5.0]
+
+    def test_events_run_in_time_order(self, scheduler):
+        order = []
+        scheduler.call_at(3.0, order.append, "b")
+        scheduler.call_at(1.0, order.append, "a")
+        scheduler.call_at(7.0, order.append, "c")
+        scheduler.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_scheduling_order(self, scheduler):
+        order = []
+        scheduler.call_at(1.0, order.append, "first")
+        scheduler.call_at(1.0, order.append, "second")
+        scheduler.call_at(1.0, order.append, "third")
+        scheduler.run()
+        assert order == ["first", "second", "third"]
+
+    def test_zero_delay_event_runs(self, scheduler):
+        seen = []
+        scheduler.call_after(0.0, seen.append, 1)
+        scheduler.run()
+        assert seen == [1]
+
+    def test_scheduling_in_the_past_raises(self, scheduler):
+        scheduler.call_at(5.0, lambda: None)
+        scheduler.run()
+        with pytest.raises(ValueError, match="cannot schedule"):
+            scheduler.call_at(3.0, lambda: None)
+
+    def test_negative_delay_raises(self, scheduler):
+        with pytest.raises(ValueError, match="negative delay"):
+            scheduler.call_after(-1.0, lambda: None)
+
+    def test_args_are_passed(self, scheduler):
+        seen = []
+        scheduler.call_at(1.0, lambda a, b: seen.append((a, b)), 1, 2)
+        scheduler.run()
+        assert seen == [(1, 2)]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self, scheduler):
+        seen = []
+        handle = scheduler.call_at(1.0, seen.append, "x")
+        handle.cancel()
+        scheduler.run()
+        assert seen == []
+        assert not handle.fired
+
+    def test_cancel_after_fire_is_noop(self, scheduler):
+        handle = scheduler.call_at(1.0, lambda: None)
+        scheduler.run()
+        assert handle.fired
+        handle.cancel()  # must not raise
+
+    def test_active_property(self, scheduler):
+        handle = scheduler.call_at(1.0, lambda: None)
+        assert handle.active
+        handle.cancel()
+        assert not handle.active
+
+    def test_pending_excludes_cancelled(self, scheduler):
+        h1 = scheduler.call_at(1.0, lambda: None)
+        scheduler.call_at(2.0, lambda: None)
+        assert scheduler.pending == 2
+        h1.cancel()
+        assert scheduler.pending == 1
+
+
+class TestRunControl:
+    def test_run_returns_final_time(self, scheduler):
+        scheduler.call_at(4.5, lambda: None)
+        assert scheduler.run() == 4.5
+
+    def test_run_until_stops_at_deadline(self, scheduler):
+        seen = []
+        scheduler.call_at(1.0, seen.append, "early")
+        scheduler.call_at(10.0, seen.append, "late")
+        scheduler.run_until(5.0)
+        assert seen == ["early"]
+        assert scheduler.now == 5.0
+        scheduler.run()
+        assert seen == ["early", "late"]
+
+    def test_run_until_includes_boundary(self, scheduler):
+        seen = []
+        scheduler.call_at(5.0, seen.append, "exact")
+        scheduler.run_until(5.0)
+        assert seen == ["exact"]
+
+    def test_step_returns_false_when_empty(self, scheduler):
+        assert scheduler.step() is False
+
+    def test_events_run_counter(self, scheduler):
+        for t in (1.0, 2.0, 3.0):
+            scheduler.call_at(t, lambda: None)
+        scheduler.run()
+        assert scheduler.events_run == 3
+
+    def test_event_can_schedule_more_events(self, scheduler):
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 3:
+                scheduler.call_after(1.0, chain, n + 1)
+
+        scheduler.call_at(0.0, chain, 0)
+        scheduler.run()
+        assert seen == [0, 1, 2, 3]
+        assert scheduler.now == 3.0
+
+    def test_livelock_guard(self):
+        scheduler = Scheduler()
+        scheduler._max_events = 100
+
+        def forever():
+            scheduler.call_after(1.0, forever)
+
+        scheduler.call_at(0.0, forever)
+        with pytest.raises(RuntimeError, match="livelock"):
+            scheduler.run()

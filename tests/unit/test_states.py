@@ -1,0 +1,78 @@
+"""Unit tests for the local state vocabulary and Fig. 6 transitions."""
+
+import pytest
+
+from repro.protocols.states import (
+    COMMITTABLE,
+    FORBIDDEN_TRANSITIONS,
+    LEGAL_TRANSITIONS,
+    TERMINAL,
+    TxnState,
+    can_transition,
+    is_committable,
+    is_terminal,
+)
+
+
+class TestClassification:
+    def test_committable_states(self):
+        assert COMMITTABLE == {TxnState.PC, TxnState.C}
+        assert is_committable(TxnState.PC)
+        assert not is_committable(TxnState.W)
+
+    def test_terminal_states(self):
+        assert TERMINAL == {TxnState.A, TxnState.C}
+        assert is_terminal(TxnState.C)
+        assert not is_terminal(TxnState.PC)
+
+    def test_w_is_noncommittable(self):
+        """A site in W knows only its own vote (paper §2)."""
+        assert not is_committable(TxnState.W)
+
+
+class TestTransitions:
+    def test_self_loops_always_legal(self):
+        for state in TxnState:
+            assert can_transition(state, state)
+
+    def test_no_pc_pa_edge(self):
+        """The rule Example 3 depends on: no PC <-> PA transition."""
+        assert not can_transition(TxnState.PC, TxnState.PA)
+        assert not can_transition(TxnState.PA, TxnState.PC)
+        assert (TxnState.PC, TxnState.PA) in FORBIDDEN_TRANSITIONS
+
+    def test_terminal_states_absorbing(self):
+        for terminal in (TxnState.A, TxnState.C):
+            for dst in TxnState:
+                if dst is not terminal:
+                    assert not can_transition(terminal, dst)
+
+    def test_normal_commit_path(self):
+        assert can_transition(TxnState.Q, TxnState.W)
+        assert can_transition(TxnState.W, TxnState.PC)
+        assert can_transition(TxnState.PC, TxnState.C)
+
+    def test_normal_abort_paths(self):
+        assert can_transition(TxnState.Q, TxnState.A)
+        assert can_transition(TxnState.W, TxnState.A)
+        assert can_transition(TxnState.W, TxnState.PA)
+        assert can_transition(TxnState.PA, TxnState.A)
+
+    def test_quorum_commit_reaches_w_directly(self):
+        """Fig. 9: the coordinator commits before all PC-ACKs, so a W
+        site can legitimately receive COMMIT."""
+        assert can_transition(TxnState.W, TxnState.C)
+
+    def test_pc_can_be_aborted_by_command(self):
+        assert can_transition(TxnState.PC, TxnState.A)
+
+    def test_pa_can_be_committed_by_command(self):
+        assert can_transition(TxnState.PA, TxnState.C)
+
+    def test_q_cannot_reach_committable(self):
+        """A site that never voted must never enter PC or C."""
+        assert not can_transition(TxnState.Q, TxnState.PC)
+        assert not can_transition(TxnState.Q, TxnState.C)
+
+    def test_legal_and_forbidden_disjoint(self):
+        assert not (LEGAL_TRANSITIONS & FORBIDDEN_TRANSITIONS)

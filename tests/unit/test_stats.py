@@ -1,0 +1,56 @@
+"""Unit tests for the statistics helpers."""
+
+import pytest
+
+from repro.experiments.stats import MeanCI, mean_ci, paired_comparison
+
+
+class TestMeanCI:
+    def test_interval_contains_mean(self):
+        ci = mean_ci([1.0, 2.0, 3.0, 4.0])
+        assert ci.low <= ci.mean <= ci.high
+        assert ci.n == 4
+
+    def test_single_sample_degenerate(self):
+        ci = mean_ci([5.0])
+        assert ci == MeanCI(5.0, 5.0, 5.0, 1, 0.95)
+
+    def test_constant_sample_degenerate(self):
+        ci = mean_ci([2.0, 2.0, 2.0])
+        assert ci.low == ci.high == 2.0
+
+    def test_wider_confidence_wider_interval(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        narrow = mean_ci(data, confidence=0.80)
+        wide = mean_ci(data, confidence=0.99)
+        assert wide.high - wide.low > narrow.high - narrow.low
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ci([])
+
+
+class TestPairedComparison:
+    def test_detects_consistent_difference(self):
+        a = [1.0, 2.0, 3.0, 4.0, 5.0]
+        b = [x + 0.5 for x in a]
+        cmp = paired_comparison(a, b)
+        assert cmp.mean_difference == pytest.approx(-0.5)
+        assert cmp.significant
+
+    def test_identical_samples_not_significant(self):
+        cmp = paired_comparison([1.0, 2.0, 3.0], [1.0, 2.0, 3.0])
+        assert cmp.p_value == 1.0
+        assert not cmp.significant
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            paired_comparison([1.0], [1.0, 2.0])
+
+    def test_too_few_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            paired_comparison([1.0], [2.0])
+
+    def test_constant_difference_counts_as_significant(self):
+        cmp = paired_comparison([1.0, 2.0, 3.0], [2.0, 3.0, 4.0])
+        assert cmp.significant

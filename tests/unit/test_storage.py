@@ -1,0 +1,159 @@
+"""Unit tests for the WAL, replica store and recovery."""
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.protocols.states import TxnState
+from repro.storage.recovery import recover_protocol_states, replay_data
+from repro.storage.store import ReplicaStore
+from repro.storage.wal import WriteAheadLog
+
+
+class TestWal:
+    def test_lsns_increase(self):
+        wal = WriteAheadLog(1)
+        r1 = wal.force("T1", "begin")
+        r2 = wal.force("T1", "vote", vote="yes")
+        assert r2.lsn == r1.lsn + 1
+
+    def test_unknown_kind_rejected(self):
+        wal = WriteAheadLog(1)
+        with pytest.raises(StorageError, match="unknown log record kind"):
+            wal.force("T1", "frobnicate")
+
+    def test_decision_is_irrevocable(self):
+        wal = WriteAheadLog(1)
+        wal.force("T1", "commit")
+        with pytest.raises(StorageError, match="already logged"):
+            wal.force("T1", "abort")
+
+    def test_same_decision_twice_is_fine(self):
+        wal = WriteAheadLog(1)
+        wal.force("T1", "commit")
+        wal.force("T1", "commit")
+        assert wal.decision("T1") == "commit"
+
+    def test_decision_none_when_undecided(self):
+        wal = WriteAheadLog(1)
+        wal.force("T1", "begin")
+        assert wal.decision("T1") is None
+
+    def test_for_txn_filters(self):
+        wal = WriteAheadLog(1)
+        wal.force("T1", "begin")
+        wal.force("T2", "begin")
+        wal.force("T1", "vote", vote="yes")
+        assert [r.kind for r in wal.for_txn("T1")] == ["begin", "vote"]
+
+    def test_open_txns_excludes_decided(self):
+        wal = WriteAheadLog(1)
+        wal.force("T1", "begin")
+        wal.force("T2", "begin")
+        wal.force("T1", "commit")
+        assert wal.open_txns() == ["T2"]
+
+    def test_last_protocol_record_skips_apply(self):
+        wal = WriteAheadLog(1)
+        wal.force("T1", "begin")
+        wal.force("T1", "pc")
+        wal.force("T1", "apply", item="x", value=1, version=1)
+        assert wal.last_protocol_record("T1").kind == "pc"
+
+
+class TestStore:
+    def test_host_and_read(self):
+        store = ReplicaStore(1)
+        store.host("x", value=5, version=2)
+        assert store.read("x").value == 5
+        assert store.read("x").version == 2
+
+    def test_double_host_rejected(self):
+        store = ReplicaStore(1)
+        store.host("x")
+        with pytest.raises(StorageError, match="already hosts"):
+            store.host("x")
+
+    def test_read_missing_copy_rejected(self):
+        store = ReplicaStore(1)
+        with pytest.raises(StorageError, match="no copy"):
+            store.read("x")
+
+    def test_write_bumps_version(self):
+        store = ReplicaStore(1)
+        store.host("x", value=0, version=0)
+        store.write("x", 10, 1)
+        assert store.read("x").version == 1
+
+    def test_stale_write_rejected(self):
+        store = ReplicaStore(1)
+        store.host("x", value=0, version=5)
+        with pytest.raises(StorageError, match="stale write"):
+            store.write("x", 1, 5)
+
+    def test_items_sorted(self):
+        store = ReplicaStore(1)
+        store.host("b")
+        store.host("a")
+        assert [name for name, __ in store.items()] == ["a", "b"]
+
+    def test_contains(self):
+        store = ReplicaStore(1)
+        store.host("x")
+        assert "x" in store and "y" not in store
+
+
+class TestRecovery:
+    def test_replay_installs_committed_writes(self):
+        wal = WriteAheadLog(1)
+        store = ReplicaStore(1)
+        store.host("x", value=0, version=0)
+        wal.force("T1", "apply", item="x", value=42, version=1)
+        replayed = replay_data(wal, store)
+        assert replayed == 1
+        assert store.read("x").value == 42
+
+    def test_replay_is_idempotent(self):
+        wal = WriteAheadLog(1)
+        store = ReplicaStore(1)
+        store.host("x", value=0, version=0)
+        wal.force("T1", "apply", item="x", value=42, version=1)
+        replay_data(wal, store)
+        assert replay_data(wal, store) == 0
+
+    def test_replay_skips_unhosted_items(self):
+        wal = WriteAheadLog(1)
+        store = ReplicaStore(1)
+        wal.force("T1", "apply", item="ghost", value=1, version=1)
+        assert replay_data(wal, store) == 0
+
+    def test_recover_states_by_anchor(self):
+        wal = WriteAheadLog(1)
+        wal.force("T1", "begin")
+        wal.force("T2", "begin")
+        wal.force("T2", "vote", vote="yes")
+        wal.force("T3", "begin")
+        wal.force("T3", "vote", vote="yes")
+        wal.force("T3", "pc")
+        wal.force("T4", "begin")
+        wal.force("T4", "vote", vote="yes")
+        wal.force("T4", "pa")
+        states = recover_protocol_states(wal)
+        assert states == {
+            "T1": TxnState.Q,
+            "T2": TxnState.W,
+            "T3": TxnState.PC,
+            "T4": TxnState.PA,
+        }
+
+    def test_recover_excludes_decided(self):
+        wal = WriteAheadLog(1)
+        wal.force("T1", "begin")
+        wal.force("T1", "vote", vote="yes")
+        wal.force("T1", "commit")
+        assert recover_protocol_states(wal) == {}
+
+    def test_no_vote_recovers_to_q(self):
+        wal = WriteAheadLog(1)
+        wal.force("T1", "begin")
+        wal.force("T1", "vote", vote="no")
+        assert recover_protocol_states(wal)["T1"] is TxnState.Q

@@ -1,0 +1,66 @@
+"""Unit tests for the trace recorder."""
+
+from repro.sim.trace import Tracer
+
+
+class TestRecording:
+    def test_record_and_len(self, tracer):
+        tracer.record(1.0, 3, "send", "T1", mtype="x.y")
+        assert len(tracer) == 1
+
+    def test_records_preserve_order(self, tracer):
+        tracer.record(1.0, 1, "a")
+        tracer.record(2.0, 2, "b")
+        assert [r.category for r in tracer] == ["a", "b"]
+
+    def test_capacity_drops_overflow(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.record(float(i), 0, "x")
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+
+class TestQueries:
+    def test_where_by_category(self, tracer):
+        tracer.record(1.0, 1, "send")
+        tracer.record(2.0, 1, "deliver")
+        assert len(tracer.where(category="send")) == 1
+
+    def test_where_by_site_and_txn(self, tracer):
+        tracer.record(1.0, 1, "send", "T1")
+        tracer.record(1.0, 2, "send", "T1")
+        tracer.record(1.0, 1, "send", "T2")
+        assert len(tracer.where(site=1, txn="T1")) == 1
+
+    def test_where_with_predicate(self, tracer):
+        tracer.record(1.0, 1, "send", detail_key=1)
+        tracer.record(2.0, 1, "send", detail_key=2)
+        found = tracer.where(category="send", pred=lambda r: r.detail["detail_key"] == 2)
+        assert len(found) == 1
+
+    def test_count(self, tracer):
+        for __ in range(3):
+            tracer.record(1.0, 1, "drop")
+        assert tracer.count("drop") == 3
+
+    def test_decisions_takes_last_per_site(self, tracer):
+        tracer.record(1.0, 1, "decision", "T1", outcome="commit")
+        tracer.record(2.0, 2, "decision", "T1", outcome="commit")
+        assert tracer.decisions("T1") == {1: "commit", 2: "commit"}
+
+    def test_decisions_scoped_to_txn(self, tracer):
+        tracer.record(1.0, 1, "decision", "T1", outcome="commit")
+        tracer.record(1.0, 1, "decision", "T2", outcome="abort")
+        assert tracer.decisions("T1") == {1: "commit"}
+
+    def test_message_counts(self, tracer):
+        tracer.record(1.0, 1, "send", mtype="a.b")
+        tracer.record(1.0, 1, "send", mtype="a.b")
+        tracer.record(1.0, 1, "send", mtype="a.c")
+        assert tracer.message_counts() == {"a.b": 2, "a.c": 1}
+
+    def test_dump_renders_all_records(self, tracer):
+        tracer.record(1.0, 1, "send", "T1", mtype="m")
+        text = tracer.dump()
+        assert "send" in text and "T1" in text

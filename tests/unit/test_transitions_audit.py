@@ -1,0 +1,56 @@
+"""Unit tests for the observed-transition audit."""
+
+from repro.analysis.transitions import audit_transitions, observed_transitions
+from repro.protocols.states import TxnState
+from repro.sim.trace import Tracer
+
+
+def trace_with_transitions(*edges):
+    tracer = Tracer()
+    for src, dst in edges:
+        tracer.record(1.0, 1, "state", "T1", src=src, dst=dst, via="test")
+    return tracer
+
+
+class TestObservedTransitions:
+    def test_extraction(self):
+        tracer = trace_with_transitions(("Q", "W"), ("W", "PC"))
+        observed = observed_transitions(tracer)
+        assert (TxnState.Q, TxnState.W) in observed
+        assert (TxnState.W, TxnState.PC) in observed
+
+    def test_txn_filter(self):
+        tracer = Tracer()
+        tracer.record(1.0, 1, "state", "T1", src="Q", dst="W", via="x")
+        tracer.record(1.0, 1, "state", "T2", src="W", dst="PC", via="x")
+        assert observed_transitions(tracer, "T1") == {(TxnState.Q, TxnState.W)}
+
+
+class TestAudit:
+    def test_legal_corpus_conforms(self):
+        audit = audit_transitions(
+            [trace_with_transitions(("Q", "W"), ("W", "PC"), ("PC", "C"))]
+        )
+        assert audit.conforms
+        assert audit.covers((TxnState.Q, TxnState.W))
+        assert not audit.covers((TxnState.W, TxnState.PA))
+
+    def test_illegal_edge_flagged(self):
+        audit = audit_transitions([trace_with_transitions(("PC", "PA"))])
+        assert not audit.conforms
+        assert (TxnState.PC, TxnState.PA) in audit.illegal
+        assert "ILLEGAL" in audit.format_table()
+
+    def test_union_across_traces(self):
+        audit = audit_transitions(
+            [
+                trace_with_transitions(("Q", "W")),
+                trace_with_transitions(("W", "PA")),
+            ]
+        )
+        assert audit.covers((TxnState.Q, TxnState.W), (TxnState.W, TxnState.PA))
+
+    def test_empty_corpus(self):
+        audit = audit_transitions([])
+        assert audit.conforms
+        assert not audit.observed
