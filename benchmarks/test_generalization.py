@@ -41,12 +41,22 @@ def test_generalized_rule_frees_primary_partitions(benchmark):
 
 
 def test_primary_placement_shapes_availability():
-    """Move both primaries into the blocked partition G2: now nothing
-    can terminate anywhere — placement is the whole ballgame."""
-    cluster, txn = run_fig3_with_primaries({"x": 4, "y": 5})
-    report = cluster.outcome(txn.txn)
-    assert report.atomic
-    assert report.outcome == "blocked"
+    """Placement is the whole ballgame: the same Fig. 3 failure
+    commits, aborts or blocks depending only on where the primaries
+    sit.  Both primaries beside the PC site let G2 run the commit
+    round; y's primary in an all-W partition lets G3 abort; x's
+    primary on the crashed coordinator (with y's pinned in PC) kills
+    every branch of the rule — nothing can terminate anywhere."""
+    expected = {
+        ("commit",): {"x": 4, "y": 5},
+        ("abort",): {"x": 4, "y": 6},
+        ("blocked",): {"x": 1, "y": 5},
+    }
+    for (outcome,), primaries in expected.items():
+        cluster, txn = run_fig3_with_primaries(primaries)
+        report = cluster.outcome(txn.txn)
+        assert report.atomic
+        assert report.outcome == outcome, (primaries, report.outcome)
 
 
 def test_generalization_is_safe(benchmark):

@@ -1,14 +1,18 @@
 #!/usr/bin/env python3
 """Regenerate every experiment table behind EXPERIMENTS.md.
 
-Runs all experiments (E1–E20) at study scale and prints a markdown-ish
-report.  Deterministic in its seeds; expect a minute or two.
+Runs all experiments (E1–E21) at study scale and prints a markdown-ish
+report.  Deterministic in its seeds — the randomized studies all route
+through :mod:`repro.engine`, so ``--workers N`` fans them out over N
+processes with bit-identical output; ``--artifacts DIR`` additionally
+persists each sweep's raw per-run JSON.
 
-Run:  python examples/regenerate_experiments.py [--runs N]
+Run:  python examples/regenerate_experiments.py [--runs N] [--workers N]
 """
 
 import argparse
 
+from repro.engine import ResultStore
 from repro.experiments.ablations import pairing_ablation, timeout_ablation
 from repro.experiments.examples import (
     run_example1,
@@ -22,9 +26,10 @@ from repro.experiments.sweeps import (
     availability_sweep,
     modelcheck,
     reenterability_storm,
+    wan_partition_storm,
 )
 from repro.experiments.vote_study import vote_assignment_study
-from repro.experiments.workload_study import workload_study
+from repro.experiments.workload_study import heavy_traffic_study, workload_study
 
 
 def section(title: str) -> None:
@@ -34,8 +39,12 @@ def section(title: str) -> None:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--runs", type=int, default=60)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--artifacts", type=str, default=None)
     args = parser.parse_args()
     runs = args.runs
+    workers = args.workers
+    store = ResultStore(args.artifacts) if args.artifacts else None
 
     print("# Regenerated experiment report")
 
@@ -79,16 +88,16 @@ def main() -> None:
         print(row.format_row())
 
     section(f"E11 — availability sweep ({runs} scenarios/protocol)")
-    for row in availability_sweep(runs=runs):
+    for row in availability_sweep(runs=runs, workers=workers, store=store):
         print(row.format_row())
 
     section("E13 — reenterability storms")
     for protocol in ("qtp1", "qtp2"):
-        print(reenterability_storm(protocol, runs=10).format_row())
+        print(reenterability_storm(protocol, runs=10, workers=workers).format_row())
 
     section(f"E14 — Theorem 1 model-check ({runs} schedules/protocol)")
     for protocol in ("2pc", "3pc", "skq", "qtp1", "qtp2", "qtpp"):
-        print(modelcheck(protocol, runs=runs).format_row())
+        print(modelcheck(protocol, runs=runs, workers=workers).format_row())
 
     section("A-PAIR / A-TIMEOUT ablations (D1, D4)")
     for r in pairing_ablation():
@@ -103,11 +112,19 @@ def main() -> None:
         )
 
     section("E17 — live workload across a partition episode")
-    for row in workload_study(runs=4):
+    for row in workload_study(runs=4, workers=workers, store=store):
+        print(row.format_row())
+
+    section("E18 — heavy traffic through repeated partition episodes")
+    for row in heavy_traffic_study(runs=3, workers=workers, store=store):
         print(row.format_row())
 
     section("E19 — vote assignment policies")
-    for row in vote_assignment_study(runs=30):
+    for row in vote_assignment_study(runs=30, workers=workers, store=store):
+        print(row.format_row())
+
+    section("E21 — WAN partition storm (32 sites, 4 regions)")
+    for row in wan_partition_storm(runs=10, workers=workers, store=store):
         print(row.format_row())
 
     print("\n(done)")

@@ -1,0 +1,77 @@
+"""Parallel sweep engine — declarative, deterministic, fan-out-safe.
+
+The paper's headline experiments (E11 availability sweep, E13
+re-enterability storm, E14 randomized model-check) are statistical:
+they sharpen with more randomized runs.  This package turns their
+ad-hoc ``for`` loops into one engine:
+
+* :class:`~repro.engine.spec.SweepSpec` — a declarative sweep: task
+  function × parameter grid × run count.
+* :class:`~repro.engine.spec.RunTask` — one (cell, run) unit of work
+  carrying a seed derived deterministically from the spec, never from
+  execution order.
+* :func:`~repro.engine.executor.run_sweep` — a ``multiprocessing``
+  executor with chunked batching and a serial fallback; results come
+  back in task order, so output is **bit-identical at every worker
+  count**.
+* :class:`~repro.engine.store.ResultStore` — schema-versioned JSON
+  artifacts (canonical encoding, byte-stable) plus aggregation helpers
+  that work on live results and loaded artifacts alike.
+
+Quickstart — a parallel availability sweep in three lines::
+
+    from repro.engine import SweepSpec, run_sweep
+    from repro.experiments.sweeps import availability_run
+
+    outcome = run_sweep(
+        SweepSpec("e11", availability_run,
+                  grid={"protocol": ["skq", "qtp1"]}, runs=50, seeding="offset"),
+        workers=4,
+    )
+
+Study-level drivers (``availability_sweep``, ``modelcheck``,
+``workload_study``, …) all accept a ``workers=`` argument and route
+through this engine; ``seeding="offset"`` replays the same scenario
+sequence in every cell (the paired-comparison design the paper's
+studies use), while the default ``"derived"`` hashing gives every cell
+an independent stream.
+"""
+
+from repro.engine.executor import (
+    SweepOutcome,
+    default_chunksize,
+    default_workers,
+    map_runs,
+    run_sweep,
+)
+from repro.engine.spec import RunResult, RunTask, SweepSpec, derive_seed
+from repro.engine.store import (
+    SCHEMA_VERSION,
+    ResultStore,
+    count_where,
+    fraction_of,
+    group_by,
+    jsonable,
+    mean_of,
+    values_of,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ResultStore",
+    "RunResult",
+    "RunTask",
+    "SweepOutcome",
+    "SweepSpec",
+    "count_where",
+    "default_chunksize",
+    "default_workers",
+    "derive_seed",
+    "fraction_of",
+    "group_by",
+    "jsonable",
+    "map_runs",
+    "mean_of",
+    "run_sweep",
+    "values_of",
+]

@@ -1,0 +1,154 @@
+"""Sweep execution: serial, or fanned out over a process pool.
+
+The contract that makes parallelism safe here is one-way data flow:
+every :class:`~repro.engine.spec.RunTask` carries its own seed and
+builds its own simulator, so tasks share nothing and the executor can
+batch them onto workers in any layout.  Results are always returned in
+task-index order, so a sweep's output is bit-identical at every worker
+count — a property the suite's property tests pin down.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.engine.spec import RunResult, RunTask, SweepSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.store import ResultStore
+
+
+def _execute_task(task: RunTask) -> RunResult:
+    """Top-level trampoline so tasks pickle into pool workers."""
+    return task.execute()
+
+
+def default_workers() -> int:
+    """A sensible worker count for this machine (>= 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def default_chunksize(n_tasks: int, workers: int) -> int:
+    """Batch tasks so each worker sees a few chunks, not one task each.
+
+    Four chunks per worker amortizes task pickling without letting one
+    slow chunk straggle the whole pool.
+    """
+    return max(1, n_tasks // (workers * 4) or 1)
+
+
+@dataclass
+class SweepOutcome:
+    """An executed sweep: the spec summary plus ordered results."""
+
+    spec: dict[str, Any]
+    results: list[RunResult] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        """The sweep's name."""
+        return self.spec["name"]
+
+    def values(self) -> list[Any]:
+        """Raw task return values, in task order."""
+        return [r.value for r in self.results]
+
+    def by_cell(self) -> list[tuple[dict[str, Any], list[RunResult]]]:
+        """Results grouped per grid cell, preserving expansion order."""
+        groups: dict[tuple, tuple[dict[str, Any], list[RunResult]]] = {}
+        for result in self.results:
+            key = tuple(sorted(result.params.items(), key=lambda kv: kv[0]))
+            groups.setdefault(key, (result.params, []))[1].append(result)
+        return list(groups.values())
+
+    def cell(self, **params: Any) -> list[RunResult]:
+        """Results of the single cell matching ``params`` (subset match)."""
+        return [
+            r
+            for r in self.results
+            if all(r.params.get(k) == v for k, v in params.items())
+        ]
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 1,
+    chunksize: int | None = None,
+    store: "ResultStore | None" = None,
+) -> SweepOutcome:
+    """Execute a sweep and (optionally) persist its artifact.
+
+    Args:
+        spec: the sweep to run.
+        workers: process count; ``1`` (or anything lower) runs serially
+            in this process, which is also the automatic fallback when
+            a pool cannot be created (restricted environments, missing
+            ``fork``/``spawn`` support).
+        chunksize: tasks per worker batch; default
+            :func:`default_chunksize`.
+        store: when given, the outcome is saved under ``spec.name``
+            before returning.
+
+    Returns:
+        A :class:`SweepOutcome` whose ``results`` are in task order —
+        identical content for every ``workers`` value.
+    """
+    tasks = spec.tasks()
+    if workers > 1 and len(tasks) > 1:
+        results = _run_pool(tasks, workers, chunksize)
+    else:
+        results = [task.execute() for task in tasks]
+    outcome = SweepOutcome(spec=spec.summary(), results=results)
+    if store is not None:
+        store.save(outcome)
+    return outcome
+
+
+def _run_pool(
+    tasks: list[RunTask],
+    workers: int,
+    chunksize: int | None,
+) -> list[RunResult]:
+    """Map tasks over a process pool; fall back to serial on failure.
+
+    ``Pool.map`` preserves input order, so no re-sorting is needed; the
+    fallback covers sandboxes where process creation is forbidden.
+    """
+    try:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context()
+        pool = ctx.Pool(processes=workers)
+    except (ImportError, OSError, PermissionError):
+        # only pool *creation* falls back; an error raised by a task
+        # must surface, not silently re-run the whole sweep serially
+        return [task.execute() for task in tasks]
+    with pool:
+        return pool.map(
+            _execute_task,
+            tasks,
+            chunksize or default_chunksize(len(tasks), workers),
+        )
+
+
+def map_runs(
+    task: Callable[..., Any],
+    seeds: Iterable[int],
+    workers: int = 1,
+    **params: Any,
+) -> list[Any]:
+    """Convenience: run ``task(seed=s, **params)`` for every seed.
+
+    A one-cell sweep without declaring a spec — handy for quick studies
+    and for porting existing ``for i in range(runs)`` loops.
+    """
+    seeds = list(seeds)
+    tasks = [
+        RunTask(index=i, sweep="map-runs", task=task, params=dict(params), run=i, seed=s)
+        for i, s in enumerate(seeds)
+    ]
+    if workers > 1 and len(tasks) > 1:
+        return [r.value for r in _run_pool(tasks, workers, None)]
+    return [t.execute().value for t in tasks]

@@ -1,0 +1,177 @@
+"""Declarative sweep specifications and per-run tasks.
+
+A :class:`SweepSpec` names a task function, a parameter grid and a run
+count; expanding it yields one :class:`RunTask` per (cell, run) pair.
+Each task carries its own seed, derived deterministically from the spec
+— never from execution order — so a sweep produces bit-identical
+results whether the tasks run serially, fanned out over a process pool,
+or in any interleaving in between.
+
+Task functions must be module-level callables (so they pickle by
+reference into worker processes) and must accept their seed as a
+``seed=`` keyword argument alongside the cell parameters::
+
+    def trial(seed: int, protocol: str) -> float: ...
+
+    spec = SweepSpec("demo", trial, grid={"protocol": ["2pc", "qtp1"]}, runs=20)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+#: seed strategies a spec may choose from.
+SEED_MODES = ("derived", "offset")
+
+
+def derive_seed(base_seed: int, sweep: str, params: Mapping[str, Any], run: int) -> int:
+    """A 63-bit seed from (base_seed, sweep name, cell params, run index).
+
+    SHA-256 over a canonical JSON encoding — ``hash()`` is salted per
+    process and would break cross-process reproducibility.  Distinct
+    cells get statistically independent streams even for adjacent base
+    seeds.
+    """
+    key = json.dumps(
+        [base_seed, sweep, sorted(params.items(), key=lambda kv: kv[0]), run],
+        sort_keys=True,
+        default=str,
+    )
+    digest = hashlib.sha256(key.encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One unit of sweep work: a cell's parameters plus a run seed.
+
+    ``index`` is the task's position in the spec's expansion order;
+    executors must report results in index order so output never
+    depends on completion order.
+    """
+
+    index: int
+    sweep: str
+    task: Callable[..., Any]
+    params: dict[str, Any]
+    run: int
+    seed: int
+
+    def execute(self) -> "RunResult":
+        """Run the task function; bind the seed and cell by keyword."""
+        value = self.task(seed=self.seed, **self.params)
+        return RunResult(
+            index=self.index,
+            params=self.params,
+            run=self.run,
+            seed=self.seed,
+            value=value,
+        )
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """The outcome of one :class:`RunTask`."""
+
+    index: int
+    params: dict[str, Any]
+    run: int
+    seed: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Protocol × parameter grid × run count, with deterministic seeds.
+
+    Args:
+        name: sweep identifier (also the artifact name in a store).
+        task: module-level callable ``task(seed=..., **cell_params)``.
+        grid: parameter name -> candidate values; cells are the
+            cartesian product, expanded with the *first* grid key
+            varying slowest (insertion order).
+        runs: randomized runs per cell.
+        base_seed: root of every per-run seed.
+        seeding: ``"derived"`` (default) hashes (base_seed, name, cell,
+            run) so every cell draws an independent stream;
+            ``"offset"`` uses ``base_seed + run`` so every cell replays
+            the *same* scenario sequence — the paired-comparison design
+            the paper's studies use (the seed drives the scenario, the
+            cell only drives the response).
+        fixed: extra keyword arguments passed to every cell unchanged
+            (not part of the grid, not part of the seed derivation).
+    """
+
+    name: str
+    task: Callable[..., Any]
+    grid: Mapping[str, Sequence[Any]]
+    runs: int = 1
+    base_seed: int = 0
+    seeding: str = "derived"
+    fixed: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.runs < 1:
+            raise ValueError(f"runs must be >= 1, got {self.runs}")
+        if self.seeding not in SEED_MODES:
+            raise ValueError(f"seeding must be one of {SEED_MODES}, got {self.seeding!r}")
+        overlap = set(self.grid) & set(self.fixed)
+        if overlap:
+            raise ValueError(f"parameters both in grid and fixed: {sorted(overlap)}")
+
+    def cells(self) -> list[dict[str, Any]]:
+        """All grid cells, in deterministic expansion order."""
+        keys = list(self.grid)
+        if not keys:
+            return [{}]
+        return [
+            dict(zip(keys, combo))
+            for combo in itertools.product(*(self.grid[k] for k in keys))
+        ]
+
+    def seed_for(self, params: Mapping[str, Any], run: int) -> int:
+        """The seed of run ``run`` in cell ``params``."""
+        if self.seeding == "offset":
+            return self.base_seed + run
+        return derive_seed(self.base_seed, self.name, params, run)
+
+    def tasks(self) -> list[RunTask]:
+        """Expand into the full task list (cells × runs)."""
+        out: list[RunTask] = []
+        for cell in self.cells():
+            for run in range(self.runs):
+                out.append(
+                    RunTask(
+                        index=len(out),
+                        sweep=self.name,
+                        task=self.task,
+                        params={**cell, **self.fixed},
+                        run=run,
+                        seed=self.seed_for(cell, run),
+                    )
+                )
+        return out
+
+    @property
+    def n_tasks(self) -> int:
+        """Total task count without expanding."""
+        n_cells = 1
+        for values in self.grid.values():
+            n_cells *= len(values)
+        return n_cells * self.runs
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-safe description of the spec (for artifact headers)."""
+        return {
+            "name": self.name,
+            "task": f"{self.task.__module__}.{self.task.__qualname__}",
+            "grid": {k: list(v) for k, v in self.grid.items()},
+            "fixed": dict(self.fixed),
+            "runs": self.runs,
+            "base_seed": self.base_seed,
+            "seeding": self.seeding,
+        }

@@ -1,4 +1,4 @@
-"""Experiments E11, E13, E14 — the randomized sweeps.
+"""Experiments E11, E13, E14 (+ E21) — the randomized sweeps.
 
 These operationalize the paper's comparative and correctness claims:
 
@@ -14,6 +14,18 @@ These operationalize the paper's comparative and correctness claims:
 * **E14 randomized model-check** — Theorem 1 over thousands of random
   fault schedules: no run of the quorum protocols ever mixes COMMIT
   and ABORT, and every decision agrees with the first.
+* **E21 WAN partition storm** — the same questions at installation
+  scale: 32+ sites split region-wise by repeated partition waves.
+
+All drivers route through :mod:`repro.engine`: each accepts a
+``workers=`` argument to fan runs out over a process pool, and a
+``store=`` argument (a :class:`repro.engine.ResultStore`) to persist
+the raw per-run artifact.  Per-run seeds come from the spec, not from
+execution order, so every aggregate below is bit-identical at every
+worker count.  The ``seeding="offset"`` mode (seed = base_seed + run)
+keeps the historical trajectories: every protocol sees the *same*
+scenario sequence, and results match the pre-engine serial loops
+exactly.
 """
 
 from __future__ import annotations
@@ -21,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.db.cluster import Cluster
+from repro.engine import ResultStore, SweepSpec, run_sweep
 from repro.sim.failures import FailurePlan
 from repro.sim.rng import RngRegistry
 from repro.workload.generators import (
@@ -29,11 +42,12 @@ from repro.workload.generators import (
     random_partition_groups,
     random_update,
 )
+from repro.workload.scenarios import run_wan_storm
 
 
 @dataclass
 class SweepRow:
-    """Aggregated availability outcome for one protocol (E11)."""
+    """Aggregated availability outcome for one protocol (E11 / E21)."""
 
     protocol: str
     runs: int
@@ -54,7 +68,7 @@ class SweepRow:
         )
 
 
-def _one_availability_run(protocol: str, seed: int) -> tuple[float, float, bool, bool, bool]:
+def availability_run(seed: int, protocol: str) -> tuple[float, float, bool, bool, bool]:
     """One sweep sample; returns (readable, writable, blocked, violated, decided).
 
     Availability is measured over the *writeset* items only — those are
@@ -100,10 +114,37 @@ def _one_availability_run(protocol: str, seed: int) -> tuple[float, float, bool,
     )
 
 
+# backward-compatible alias (pre-engine name, positional order differs)
+def _one_availability_run(protocol: str, seed: int) -> tuple[float, float, bool, bool, bool]:
+    return availability_run(seed=seed, protocol=protocol)
+
+
+def _availability_rows(outcome) -> list[SweepRow]:
+    """Fold raw (readable, writable, blocked, violated, decided) samples
+    into one :class:`SweepRow` per protocol cell."""
+    rows = []
+    for params, cell in outcome.by_cell():
+        samples = [r.value for r in cell]
+        rows.append(
+            SweepRow(
+                protocol=params["protocol"],
+                runs=len(samples),
+                readable_fraction=sum(s[0] for s in samples) / len(samples),
+                writable_fraction=sum(s[1] for s in samples) / len(samples),
+                blocked_runs=sum(s[2] for s in samples),
+                violation_runs=sum(s[3] for s in samples),
+                decided_runs=sum(s[4] for s in samples),
+            )
+        )
+    return rows
+
+
 def availability_sweep(
     protocols: tuple[str, ...] = ("2pc", "3pc", "skq", "skq-pinned", "qtp1", "qtp2"),
     runs: int = 40,
     base_seed: int = 0,
+    workers: int = 1,
+    store: ResultStore | None = None,
 ) -> list[SweepRow]:
     """E11: mean post-failure availability per protocol.
 
@@ -114,29 +155,15 @@ def availability_sweep(
     (majority of the participants' votes); ``skq-pinned`` uses the
     paper's Example-1 style installation-wide Vc/Va.
     """
-    rows = []
-    for protocol in protocols:
-        readable, writable = 0.0, 0.0
-        blocked = violations = decided = 0
-        for i in range(runs):
-            r, w, b, v, d = _one_availability_run(protocol, base_seed + i)
-            readable += r
-            writable += w
-            blocked += b
-            violations += v
-            decided += d
-        rows.append(
-            SweepRow(
-                protocol=protocol,
-                runs=runs,
-                readable_fraction=readable / runs,
-                writable_fraction=writable / runs,
-                blocked_runs=blocked,
-                violation_runs=violations,
-                decided_runs=decided,
-            )
-        )
-    return rows
+    spec = SweepSpec(
+        name="e11-availability",
+        task=availability_run,
+        grid={"protocol": list(protocols)},
+        runs=runs,
+        base_seed=base_seed,
+        seeding="offset",
+    )
+    return _availability_rows(run_sweep(spec, workers=workers, store=store))
 
 
 @dataclass
@@ -163,11 +190,40 @@ class StormResult:
         )
 
 
+def storm_run(seed: int, protocol: str, waves: int = 3) -> tuple[bool, bool, int]:
+    """One E13 sample; returns (consistent, terminated, term_attempts)."""
+    registry = RngRegistry(seed)
+    rng = registry.stream("storm")
+    catalog = random_catalog(rng, n_sites=6, n_items=3, replication=3)
+    origin, writes = random_update(rng, catalog, max_items=2)
+    cluster = Cluster(catalog, protocol=protocol, seed=seed)
+    txn = cluster.update(origin, writes)
+    plan = FailurePlan()
+    plan.crash(rng.uniform(1.0, 4.0), origin)
+    t = 5.0
+    for _ in range(waves):
+        groups = random_partition_groups(rng, cluster.network.sites, 2)
+        plan.partition(t, *groups)
+        t += rng.uniform(8.0, 15.0)
+    plan.heal(t)
+    plan.recover(t + 5.0, origin)
+    cluster.arm_failures(plan)
+    cluster.run()
+    report = cluster.outcome(txn.txn)
+    return (
+        bool(report.atomic),
+        bool(report.fully_terminated),
+        cluster.tracer.count("term-phase1", txn=txn.txn),
+    )
+
+
 def reenterability_storm(
     protocol: str = "qtp1",
     runs: int = 20,
     base_seed: int = 0,
     waves: int = 3,
+    workers: int = 1,
+    store: ResultStore | None = None,
 ) -> StormResult:
     """E13: repeated partition waves *during* termination, then heal.
 
@@ -176,30 +232,23 @@ def reenterability_storm(
     once the final heal lands (and the coordinator recovers), terminate
     the transaction consistently everywhere.
     """
-    consistent = terminated = attempts = 0
-    for i in range(runs):
-        registry = RngRegistry(base_seed + i)
-        rng = registry.stream("storm")
-        catalog = random_catalog(rng, n_sites=6, n_items=3, replication=3)
-        origin, writes = random_update(rng, catalog, max_items=2)
-        cluster = Cluster(catalog, protocol=protocol, seed=base_seed + i)
-        txn = cluster.update(origin, writes)
-        plan = FailurePlan()
-        plan.crash(rng.uniform(1.0, 4.0), origin)
-        t = 5.0
-        for _ in range(waves):
-            groups = random_partition_groups(rng, cluster.network.sites, 2)
-            plan.partition(t, *groups)
-            t += rng.uniform(8.0, 15.0)
-        plan.heal(t)
-        plan.recover(t + 5.0, origin)
-        cluster.arm_failures(plan)
-        cluster.run()
-        report = cluster.outcome(txn.txn)
-        consistent += report.atomic
-        terminated += report.fully_terminated
-        attempts += cluster.tracer.count("term-phase1", txn=txn.txn)
-    return StormResult(protocol, runs, consistent, terminated, attempts)
+    spec = SweepSpec(
+        name="e13-reenterability",
+        task=storm_run,
+        grid={"protocol": [protocol]},
+        runs=runs,
+        base_seed=base_seed,
+        seeding="offset",
+        fixed={"waves": waves},
+    )
+    samples = run_sweep(spec, workers=workers, store=store).values()
+    return StormResult(
+        protocol=protocol,
+        runs=runs,
+        consistent_runs=sum(s[0] for s in samples),
+        terminated_runs=sum(s[1] for s in samples),
+        total_term_attempts=sum(s[2] for s in samples),
+    )
 
 
 @dataclass
@@ -226,11 +275,35 @@ class ModelCheckResult:
         )
 
 
+def modelcheck_run(seed: int, protocol: str, heal: bool = True) -> bool:
+    """One E14 schedule; returns whether termination stayed atomic."""
+    registry = RngRegistry(seed)
+    rng = registry.stream("modelcheck")
+    catalog = random_catalog(rng, n_sites=7, n_items=3, replication=3)
+    origin, writes = random_update(rng, catalog, max_items=2)
+    cluster = Cluster(catalog, protocol=protocol, seed=seed)
+    txn = cluster.update(origin, writes)
+    plan = random_fault_plan(
+        rng,
+        sites=cluster.network.sites,
+        coordinator=origin,
+        crash_coordinator=rng.random() < 0.8,
+        n_extra_crashes=rng.choice([0, 0, 1]),
+        n_groups=rng.choice([2, 2, 3]),
+        heal_at=rng.uniform(30.0, 60.0) if heal else None,
+    )
+    cluster.arm_failures(plan)
+    cluster.run()
+    return bool(cluster.outcome(txn.txn).atomic)
+
+
 def modelcheck(
     protocol: str,
     runs: int = 100,
     base_seed: int = 0,
     heal: bool = True,
+    workers: int = 1,
+    store: ResultStore | None = None,
 ) -> ModelCheckResult:
     """E14: randomized fault schedules; assert atomic commitment.
 
@@ -240,31 +313,87 @@ def modelcheck(
     expected violation count is **zero**; for ``3pc`` it is positive
     (that protocol's termination was never designed for partitions).
     """
-    atomic = mixed = 0
-    bad_seeds = []
-    for i in range(runs):
-        seed = base_seed + i
-        registry = RngRegistry(seed)
-        rng = registry.stream("modelcheck")
-        catalog = random_catalog(rng, n_sites=7, n_items=3, replication=3)
-        origin, writes = random_update(rng, catalog, max_items=2)
-        cluster = Cluster(catalog, protocol=protocol, seed=seed)
-        txn = cluster.update(origin, writes)
-        plan = random_fault_plan(
-            rng,
-            sites=cluster.network.sites,
-            coordinator=origin,
-            crash_coordinator=rng.random() < 0.8,
-            n_extra_crashes=rng.choice([0, 0, 1]),
-            n_groups=rng.choice([2, 2, 3]),
-            heal_at=rng.uniform(30.0, 60.0) if heal else None,
-        )
-        cluster.arm_failures(plan)
-        cluster.run()
-        report = cluster.outcome(txn.txn)
-        if report.atomic:
-            atomic += 1
-        else:
-            mixed += 1
-            bad_seeds.append(seed)
-    return ModelCheckResult(protocol, runs, atomic, mixed, bad_seeds)
+    spec = SweepSpec(
+        name="e14-modelcheck",
+        task=modelcheck_run,
+        grid={"protocol": [protocol]},
+        runs=runs,
+        base_seed=base_seed,
+        seeding="offset",
+        fixed={"heal": heal},
+    )
+    results = run_sweep(spec, workers=workers, store=store).results
+    atomic = sum(1 for r in results if r.value)
+    bad_seeds = [r.seed for r in results if not r.value]
+    return ModelCheckResult(protocol, runs, atomic, len(bad_seeds), bad_seeds)
+
+
+def wan_storm_run(
+    seed: int,
+    protocol: str,
+    n_regions: int = 4,
+    sites_per_region: int = 8,
+    waves: int = 4,
+    heal: bool = False,
+) -> tuple[float, float, bool, bool, bool]:
+    """One E21 sample over a 32+-site WAN installation.
+
+    Same tuple shape as :func:`availability_run` so the two sweeps
+    aggregate through the same :class:`SweepRow`.
+    """
+    result = run_wan_storm(
+        protocol,
+        seed=seed,
+        n_regions=n_regions,
+        sites_per_region=sites_per_region,
+        waves=waves,
+        heal=heal,
+    )
+    availability = result.cluster.availability()
+    return (
+        availability.readable_fraction,
+        availability.writable_fraction,
+        bool(result.cluster.live_undecided(result.txn.txn)),
+        not result.report.atomic,
+        result.report.outcome in ("commit", "abort"),
+    )
+
+
+def wan_partition_storm(
+    protocols: tuple[str, ...] = ("skq", "qtp1", "qtp2"),
+    runs: int = 10,
+    base_seed: int = 0,
+    n_regions: int = 4,
+    sites_per_region: int = 8,
+    waves: int = 4,
+    heal: bool = False,
+    workers: int = 1,
+    store: ResultStore | None = None,
+) -> list[SweepRow]:
+    """E21: region-wise partition storms over a 32+-site installation.
+
+    The large-scale scenario the engine unlocks: each run builds a
+    ``n_regions × sites_per_region`` WAN catalog with cross-region
+    replication and drives ``waves`` successive region-aligned
+    partitionings (with region splits and stragglers) through an
+    in-doubt transaction.  With ``heal=False`` (default) the storm ends
+    partitioned and installation-wide availability reflects what
+    termination salvaged inside the final components (the E11 question
+    at scale); ``heal=True`` asks the E13 question instead — after the
+    heal, does everything terminate consistently?
+    """
+    spec = SweepSpec(
+        name="e21-wan-storm",
+        task=wan_storm_run,
+        grid={"protocol": list(protocols)},
+        runs=runs,
+        base_seed=base_seed,
+        seeding="offset",
+        fixed={
+            "n_regions": n_regions,
+            "sites_per_region": sites_per_region,
+            "waves": waves,
+            "heal": heal,
+        },
+    )
+    return _availability_rows(run_sweep(spec, workers=workers, store=store))

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.db.cluster import Cluster
+from repro.engine import ResultStore, SweepSpec, run_sweep
 from repro.replication.catalog import CatalogBuilder, ReplicaCatalog
 from repro.sim.rng import RngRegistry
 from repro.workload.generators import random_fault_plan
@@ -75,49 +76,66 @@ class PolicyRow:
 POLICIES = ("uniform-majority", "read-one", "primary-weighted")
 
 
+def policy_run(
+    seed: int, policy: str, n_sites: int = 5
+) -> tuple[float, float, bool, bool, bool]:
+    """One E19 sample; returns (readable, writable, committed, blocked,
+    violated)."""
+    sites = list(range(1, n_sites + 1))
+    rng = RngRegistry(seed).stream("vote-study")
+    catalog = _policy_catalog(policy, sites)
+    cluster = Cluster(catalog, protocol="qtp1", seed=seed)
+    txn = cluster.update(origin=1, writes={"x": 1})
+    plan = random_fault_plan(
+        rng,
+        cluster.network.sites,
+        coordinator=1,
+        t_window=(1.0, 4.5),
+        n_groups=2,
+    )
+    cluster.arm_failures(plan)
+    cluster.run()
+    report = cluster.outcome(txn.txn)
+    availability = cluster.availability()
+    return (
+        availability.readable_fraction,
+        availability.writable_fraction,
+        report.outcome == "commit",
+        bool(cluster.live_undecided(txn.txn)),
+        not report.atomic,
+    )
+
+
 def vote_assignment_study(
     policies: tuple[str, ...] = POLICIES,
     runs: int = 40,
     base_seed: int = 0,
     n_sites: int = 5,
+    workers: int = 1,
+    store: ResultStore | None = None,
 ) -> list[PolicyRow]:
     """E19: same faults, different vote assignments, QTP1 throughout."""
-    sites = list(range(1, n_sites + 1))
+    spec = SweepSpec(
+        name="e19-vote-policies",
+        task=policy_run,
+        grid={"policy": list(policies)},
+        runs=runs,
+        base_seed=base_seed,
+        seeding="offset",
+        fixed={"n_sites": n_sites},
+    )
     rows = []
-    for policy in policies:
-        readable = writable = 0.0
-        committed = blocked = violations = 0
-        for i in range(runs):
-            seed = base_seed + i
-            rng = RngRegistry(seed).stream("vote-study")
-            catalog = _policy_catalog(policy, sites)
-            cluster = Cluster(catalog, protocol="qtp1", seed=seed)
-            txn = cluster.update(origin=1, writes={"x": 1})
-            plan = random_fault_plan(
-                rng,
-                cluster.network.sites,
-                coordinator=1,
-                t_window=(1.0, 4.5),
-                n_groups=2,
-            )
-            cluster.arm_failures(plan)
-            cluster.run()
-            report = cluster.outcome(txn.txn)
-            availability = cluster.availability()
-            readable += availability.readable_fraction
-            writable += availability.writable_fraction
-            committed += report.outcome == "commit"
-            blocked += bool(cluster.live_undecided(txn.txn))
-            violations += not report.atomic
+    for params, cell in run_sweep(spec, workers=workers, store=store).by_cell():
+        samples = [r.value for r in cell]
         rows.append(
             PolicyRow(
-                policy=policy,
-                runs=runs,
-                readable_fraction=readable / runs,
-                writable_fraction=writable / runs,
-                committed_runs=committed,
-                blocked_runs=blocked,
-                violations=violations,
+                policy=params["policy"],
+                runs=len(samples),
+                readable_fraction=sum(s[0] for s in samples) / len(samples),
+                writable_fraction=sum(s[1] for s in samples) / len(samples),
+                committed_runs=sum(s[2] for s in samples),
+                blocked_runs=sum(s[3] for s in samples),
+                violations=sum(s[4] for s in samples),
             )
         )
     return rows

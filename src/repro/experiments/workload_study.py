@@ -22,9 +22,14 @@ from dataclasses import dataclass, field
 from repro.common.errors import QuorumUnreachableError, TransactionAborted
 from repro.concurrency.serializability import ConflictGraph
 from repro.db.cluster import Cluster
+from repro.engine import ResultStore, SweepSpec, run_sweep
 from repro.sim.failures import FailurePlan
 from repro.sim.rng import RngRegistry
-from repro.workload.generators import random_catalog, random_partition_groups
+from repro.workload.generators import (
+    arrival_times,
+    random_catalog,
+    random_partition_groups,
+)
 
 
 @dataclass
@@ -131,28 +136,153 @@ def run_workload(
     )
 
 
-def workload_study(
-    protocols: tuple[str, ...] = ("2pc", "skq", "qtp1", "qtp2"),
-    runs: int = 5,
-    n_txns: int = 24,
-    base_seed: int = 0,
-) -> list[WorkloadResult]:
-    """E17 aggregated: sum the tallies over several seeds per protocol.
-
-    Every protocol replays the same seeds; serializability must hold in
-    every single run (the flag is AND-ed).
-    """
+def _fold_workload_rows(outcome, protocol_of=lambda params: params["protocol"]) -> list[WorkloadResult]:
+    """Sum per-run :class:`WorkloadResult` tallies into one row per cell."""
     rows = []
-    for protocol in protocols:
-        total = WorkloadResult(protocol, 0, 0, 0, 0, 0, True, 0.0)
-        for i in range(runs):
-            result = run_workload(protocol, n_txns=n_txns, seed=base_seed + i)
+    for params, cell in outcome.by_cell():
+        results = [r.value for r in cell]
+        total = WorkloadResult(protocol_of(params), 0, 0, 0, 0, 0, True, 0.0)
+        for result in results:
             total.submitted += result.submitted
             total.committed += result.committed
             total.client_aborted += result.client_aborted
             total.protocol_aborted += result.protocol_aborted
             total.blocked += result.blocked
             total.serializable &= result.serializable
-            total.readable_fraction += result.readable_fraction / runs
+            total.readable_fraction += result.readable_fraction / len(results)
         rows.append(total)
     return rows
+
+
+def workload_study(
+    protocols: tuple[str, ...] = ("2pc", "skq", "qtp1", "qtp2"),
+    runs: int = 5,
+    n_txns: int = 24,
+    base_seed: int = 0,
+    workers: int = 1,
+    store: ResultStore | None = None,
+) -> list[WorkloadResult]:
+    """E17 aggregated: sum the tallies over several seeds per protocol.
+
+    Every protocol replays the same seeds; serializability must hold in
+    every single run (the flag is AND-ed).
+    """
+    spec = SweepSpec(
+        name="e17-workload",
+        task=run_workload,
+        grid={"protocol": list(protocols)},
+        runs=runs,
+        base_seed=base_seed,
+        seeding="offset",
+        fixed={"n_txns": n_txns},
+    )
+    return _fold_workload_rows(run_sweep(spec, workers=workers, store=store))
+
+
+def run_heavy_workload(
+    protocol: str,
+    seed: int = 0,
+    n_txns: int = 120,
+    n_sites: int = 12,
+    n_items: int = 8,
+    replication: int = 3,
+    mean_spacing: float = 1.5,
+    episodes: int = 2,
+    episode_length: float = 30.0,
+    gap: float = 20.0,
+) -> WorkloadResult:
+    """E18 (extension) — heavy traffic through repeated partition episodes.
+
+    The large-scale sibling of :func:`run_workload`: Poisson arrivals
+    (many transactions genuinely in flight at once), a bigger database,
+    and ``episodes`` successive partition/heal cycles instead of one.
+    Each episode splits the network into 2–3 random components.  The
+    correctness bar is unchanged — every committed history must be
+    one-copy serializable and nothing may stay blocked after the final
+    heal — measured here under real contention.
+    """
+    registry = RngRegistry(seed)
+    rng = registry.stream("heavy-workload")
+    catalog = random_catalog(rng, n_sites=n_sites, n_items=n_items, replication=replication)
+    cluster = Cluster(catalog, protocol=protocol, seed=seed)
+    plan = FailurePlan()
+    t = gap
+    for _ in range(episodes):
+        groups = random_partition_groups(rng, cluster.network.sites, rng.choice([2, 2, 3]))
+        plan.partition(t, *groups)
+        plan.heal(t + episode_length)
+        t += episode_length + gap
+    cluster.arm_failures(plan)
+
+    outcomes: dict[str, str] = {}
+    handles: dict[str, object] = {}
+
+    def submit_one(index: int) -> None:
+        item = rng.choice(catalog.item_names)
+        origin = rng.choice(catalog.sites_of(item))
+        if not cluster.sites[origin].alive:
+            return
+        txn = cluster.transaction(origin)
+        try:
+            value = txn.read(item)
+            txn.write(item, value + 1)
+            handle = txn.submit()
+        except TransactionAborted:
+            outcomes[txn.txn] = "client-aborted"
+            return
+        except QuorumUnreachableError:
+            txn.abort()
+            outcomes[txn.txn] = "client-aborted"
+            return
+        handles[handle.txn] = handle
+
+    for i, at in enumerate(arrival_times(rng, n_txns, mean_spacing=mean_spacing)):
+        cluster.scheduler.call_at(at, submit_one, i)
+    cluster.run()
+
+    committed = protocol_aborted = blocked = 0
+    for txn in handles:
+        report = cluster.outcome(txn)
+        outcome = report.outcome
+        if outcome == "commit":
+            committed += 1
+        elif outcome == "abort":
+            protocol_aborted += 1
+        else:
+            blocked += 1
+        outcomes[txn] = outcome
+    client_aborted = sum(1 for o in outcomes.values() if o == "client-aborted")
+
+    history = cluster.committed_history()
+    return WorkloadResult(
+        protocol=protocol,
+        submitted=len(outcomes),
+        committed=committed,
+        client_aborted=client_aborted,
+        protocol_aborted=protocol_aborted,
+        blocked=blocked,
+        serializable=ConflictGraph(history).is_serializable(),
+        readable_fraction=cluster.availability().readable_fraction,
+        txn_outcomes=outcomes,
+    )
+
+
+def heavy_traffic_study(
+    protocols: tuple[str, ...] = ("2pc", "skq", "qtp1", "qtp2"),
+    runs: int = 3,
+    n_txns: int = 120,
+    base_seed: int = 0,
+    workers: int = 1,
+    store: ResultStore | None = None,
+) -> list[WorkloadResult]:
+    """E18 aggregated: heavy-traffic tallies per protocol, same seeds."""
+    spec = SweepSpec(
+        name="e18-heavy-traffic",
+        task=run_heavy_workload,
+        grid={"protocol": list(protocols)},
+        runs=runs,
+        base_seed=base_seed,
+        seeding="offset",
+        fixed={"n_txns": n_txns},
+    )
+    return _fold_workload_rows(run_sweep(spec, workers=workers, store=store))

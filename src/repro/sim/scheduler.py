@@ -10,22 +10,19 @@ commit protocols in this library are message-driven state machines, and
 plain ``on_message`` callbacks mirror their published pseudo-code (the
 coordinator / participant event tables of Fig. 5 and Fig. 8) far more
 directly than generator-based processes would.
+
+Hot-path notes: every simulated message goes through this queue, and
+the randomized studies run hundreds of thousands of events per sweep.
+Heap entries are therefore plain ``(time, seq, handle)`` tuples — tuple
+comparison is C-level and ``seq`` is unique, so handles are never
+compared — and :attr:`Scheduler.pending` is a live counter maintained
+on push / cancel / fire rather than an O(n) queue scan.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
 from typing import Any, Callable
-
-
-@dataclass(order=True)
-class _Entry:
-    """Internal heap entry. Ordering: (time, seq)."""
-
-    time: float
-    seq: int
-    handle: "EventHandle" = field(compare=False)
 
 
 class EventHandle:
@@ -36,7 +33,7 @@ class EventHandle:
     for assertions in tests.
     """
 
-    __slots__ = ("fn", "args", "time", "cancelled", "fired", "label")
+    __slots__ = ("fn", "args", "time", "cancelled", "fired", "label", "_scheduler")
 
     def __init__(
         self,
@@ -51,10 +48,15 @@ class EventHandle:
         self.cancelled = False
         self.fired = False
         self.label = label
+        self._scheduler: "Scheduler | None" = None
 
     def cancel(self) -> None:
         """Prevent the event from running (no-op if it already ran)."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._scheduler is not None:
+            self._scheduler._pending -= 1
 
     @property
     def active(self) -> bool:
@@ -84,10 +86,13 @@ class Scheduler:
     """
 
     def __init__(self) -> None:
-        self._queue: list[_Entry] = []
+        # (time, seq, handle) tuples; seq is unique so comparison never
+        # reaches the handle.
+        self._queue: list[tuple[float, int, EventHandle]] = []
         self._seq = 0
         self._now = 0.0
         self._events_run = 0
+        self._pending = 0
         self._max_events = 10_000_000
 
     @property
@@ -102,8 +107,8 @@ class Scheduler:
 
     @property
     def pending(self) -> int:
-        """Number of queue entries not yet popped (includes cancelled)."""
-        return sum(1 for e in self._queue if e.handle.active)
+        """Number of scheduled events still active — O(1)."""
+        return self._pending
 
     def call_at(
         self,
@@ -120,8 +125,10 @@ class Scheduler:
         if time < self._now:
             raise ValueError(f"cannot schedule at {time} < now {self._now}")
         handle = EventHandle(fn, args, time, label=label)
+        handle._scheduler = self
         self._seq += 1
-        heapq.heappush(self._queue, _Entry(time, self._seq, handle))
+        self._pending += 1
+        heapq.heappush(self._queue, (time, self._seq, handle))
         return handle
 
     def call_after(
@@ -142,13 +149,15 @@ class Scheduler:
         Returns:
             True if an event ran, False if the queue was empty.
         """
-        while self._queue:
-            entry = heapq.heappop(self._queue)
-            handle = entry.handle
+        queue = self._queue
+        while queue:
+            time, _seq, handle = heapq.heappop(queue)
             if handle.cancelled:
+                # counter already decremented at cancel()
                 continue
-            self._now = entry.time
+            self._now = time
             handle.fired = True
+            self._pending -= 1
             self._events_run += 1
             if self._events_run > self._max_events:
                 raise RuntimeError(
@@ -173,11 +182,11 @@ class Scheduler:
         by the re-entrancy benchmarks).
         """
         while self._queue:
-            head = self._queue[0]
-            if head.handle.cancelled:
+            time, _seq, handle = self._queue[0]
+            if handle.cancelled:
                 heapq.heappop(self._queue)
                 continue
-            if head.time > deadline:
+            if time > deadline:
                 break
             self.step()
         self._now = max(self._now, deadline)

@@ -74,6 +74,95 @@ def random_partition_groups(
     return [sorted(g) for g in groups]
 
 
+def wan_regions(n_regions: int, sites_per_region: int) -> list[list[int]]:
+    """Contiguous site-id blocks modelling datacenters of a WAN."""
+    return [
+        list(range(r * sites_per_region + 1, (r + 1) * sites_per_region + 1))
+        for r in range(n_regions)
+    ]
+
+
+def wan_catalog(
+    rng: random.Random,
+    n_regions: int = 4,
+    sites_per_region: int = 8,
+    n_items: int = 8,
+    region_replication: int = 3,
+) -> ReplicaCatalog:
+    """A geo-replicated catalog over ``n_regions × sites_per_region`` sites.
+
+    Each item places one copy in each of ``region_replication`` random
+    regions (the classic WAN layout: survive a region loss, pay
+    cross-region quorums for it), on a random site within the region.
+    Quorums are drawn from the valid Gifford region as in
+    :func:`random_catalog`.
+    """
+    if region_replication > n_regions:
+        raise ValueError("region_replication cannot exceed the number of regions")
+    regions = wan_regions(n_regions, sites_per_region)
+    builder = CatalogBuilder()
+    for i in range(n_items):
+        picked = rng.sample(range(n_regions), region_replication)
+        copies = [rng.choice(regions[r]) for r in picked]
+        v = len(copies)
+        w = rng.randint(v // 2 + 1, v)
+        r_quorum = rng.randint(v - w + 1, v)
+        builder.item(f"i{i}", {s: 1 for s in copies}, r=r_quorum, w=w)
+    return builder.build()
+
+
+def region_storm_plan(
+    rng: random.Random,
+    regions: list[list[int]],
+    waves: int = 4,
+    first_at: float = 3.0,
+    wave_spacing: tuple[float, float] = (8.0, 15.0),
+    straggler_prob: float = 0.15,
+    heal: bool = True,
+) -> FailurePlan:
+    """Waves of region-aligned partitionings, then (optionally) a heal.
+
+    Each wave cuts the installation along region boundaries: the
+    regions are dealt into 2–4 components, and with probability
+    ``straggler_prob`` a site defects to a random other component —
+    WAN partitions follow backbone links, but never perfectly.  Waves
+    land while the previous termination attempt is still in flight, so
+    protocols re-enter exactly as in E13, at installation scale.
+    """
+    plan = FailurePlan()
+    t = first_at
+    for _ in range(waves):
+        n_components = rng.choice([2, 2, 3, min(4, len(regions))])
+        components: list[list[int]] = [[] for _ in range(n_components)]
+        for idx, region in enumerate(rng.sample(regions, len(regions))):
+            components[idx % n_components].extend(region)
+        for c, component in enumerate(components):
+            for site in list(component):
+                if len(component) > 1 and rng.random() < straggler_prob:
+                    component.remove(site)
+                    components[rng.choice([j for j in range(n_components) if j != c])].append(site)
+        plan.partition(t, *[sorted(c) for c in components if c])
+        t += rng.uniform(*wave_spacing)
+    if heal:
+        plan.heal(t)
+    return plan
+
+
+def arrival_times(
+    rng: random.Random,
+    n: int,
+    mean_spacing: float = 2.0,
+    start: float = 1.0,
+) -> list[float]:
+    """Poisson-process arrival times for an open transaction workload."""
+    t = start
+    out = []
+    for _ in range(n):
+        out.append(t)
+        t += rng.expovariate(1.0 / mean_spacing)
+    return out
+
+
 def random_fault_plan(
     rng: random.Random,
     sites: list[int],

@@ -29,6 +29,13 @@ from repro.db.cluster import Cluster
 from repro.db.txn import TxnHandle
 from repro.replication.catalog import CatalogBuilder, ReplicaCatalog
 from repro.sim.failures import FailurePlan
+from repro.sim.rng import RngRegistry
+from repro.workload.generators import (
+    random_update,
+    region_storm_plan,
+    wan_catalog,
+    wan_regions,
+)
 
 #: the partition of Examples 1, 2 and 4 (Fig. 3).
 EXAMPLE1_GROUPS = ([1, 2, 3], [4, 5], [6, 7, 8])
@@ -121,6 +128,55 @@ def run_example1_scenario(
         cluster.run()
     else:
         cluster.run_until(run_to)
+    return ScenarioResult(cluster, txn, cluster.outcome(txn.txn))
+
+
+def run_wan_storm(
+    protocol: str,
+    seed: int = 0,
+    n_regions: int = 4,
+    sites_per_region: int = 8,
+    n_items: int = 8,
+    region_replication: int = 3,
+    waves: int = 4,
+    heal: bool = False,
+) -> ScenarioResult:
+    """A 32+-site WAN installation under a region-wise partition storm.
+
+    Builds a geo-replicated catalog over ``n_regions × sites_per_region``
+    sites, starts one multi-item update, crashes its coordinator early,
+    then drives ``waves`` successive region-aligned partitionings (with
+    stragglers) through the in-flight termination.  The scaled-up
+    sibling of the Fig. 3 scenario: same questions — who terminates,
+    what stays accessible — at installation scale.
+
+    With ``heal=False`` (default) the storm ends partitioned, so
+    availability reflects what termination salvaged *inside* the final
+    components (the E11 question).  With ``heal=True`` the network
+    heals and the coordinator recovers, so the run asks the E13
+    question instead: does every site terminate consistently?
+    """
+    registry = RngRegistry(seed)
+    rng = registry.stream("wan-storm")
+    catalog = wan_catalog(
+        rng,
+        n_regions=n_regions,
+        sites_per_region=sites_per_region,
+        n_items=n_items,
+        region_replication=region_replication,
+    )
+    regions = wan_regions(n_regions, sites_per_region)
+    all_sites = [s for region in regions for s in region]
+    cluster = Cluster(catalog, protocol=protocol, seed=seed, extra_sites=all_sites)
+    origin, writes = random_update(rng, catalog, max_items=3)
+    txn = cluster.update(origin, writes)
+    plan = region_storm_plan(rng, regions, waves=waves, heal=heal)
+    plan.crash(rng.uniform(1.0, 2.5), origin)
+    if heal:
+        last = max(a.time for a in plan.actions)
+        plan.recover(last + 5.0, origin)
+    cluster.arm_failures(plan)
+    cluster.run()
     return ScenarioResult(cluster, txn, cluster.outcome(txn.txn))
 
 

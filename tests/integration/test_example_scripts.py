@@ -41,6 +41,22 @@ class TestExampleScripts:
     def test_availability_study_small(self):
         run_script(f"{EXAMPLES}/availability_study.py", ["--runs", "8"])
 
+    def test_parallel_sweep(self, tmp_path, monkeypatch):
+        # chdir so the example's ResultStore("results") lands in tmp
+        import os
+
+        script = os.path.abspath(f"{EXAMPLES}/parallel_sweep.py")
+        monkeypatch.chdir(tmp_path)
+        run_script(script)
+        assert (tmp_path / "results" / "demo-modelcheck.json").exists()
+
     @pytest.mark.slow
     def test_regenerate_experiments_small(self):
         run_script(f"{EXAMPLES}/regenerate_experiments.py", ["--runs", "10"])
+
+    @pytest.mark.slow
+    def test_regenerate_experiments_parallel_small(self):
+        run_script(
+            f"{EXAMPLES}/regenerate_experiments.py",
+            ["--runs", "10", "--workers", "2"],
+        )

@@ -1,0 +1,128 @@
+"""Engine determinism properties: a sweep's output is a function of its
+spec, never of its execution layout.
+
+The multiprocess cases execute the *same* spec serially and under
+several pool widths and require byte-identical artifacts — the property
+the acceptance bar for the parallel engine rests on.  The hypothesis
+cases pin down the seed derivation itself: total, deterministic,
+injective across cells and runs, and independent of grid ordering.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import ResultStore, SweepSpec, derive_seed, run_sweep
+from repro.experiments.sweeps import availability_run
+
+param_values = st.one_of(st.integers(-5, 5), st.sampled_from(["a", "b", "qtp1"]))
+param_dicts = st.dictionaries(
+    st.sampled_from(["protocol", "waves", "n", "mode"]), param_values, max_size=3
+)
+
+
+def pure_task(seed: int, scale: int) -> list[float]:
+    """A cheap but seed-sensitive stand-in for a simulation run."""
+    rng = random.Random(seed)
+    return [rng.random() * scale for _ in range(3)]
+
+
+class TestSeedDerivation:
+    @given(st.integers(0, 2**31), param_dicts, st.integers(0, 1000))
+    @settings(max_examples=200, deadline=None)
+    def test_deterministic(self, base, params, run):
+        assert derive_seed(base, "s", params, run) == derive_seed(base, "s", params, run)
+
+    @given(st.integers(0, 2**31), param_dicts, st.integers(0, 1000))
+    @settings(max_examples=200, deadline=None)
+    def test_key_order_irrelevant(self, base, params, run):
+        reversed_params = dict(reversed(list(params.items())))
+        assert derive_seed(base, "s", params, run) == derive_seed(
+            base, "s", reversed_params, run
+        )
+
+    @given(st.integers(0, 2**20), st.integers(0, 100), st.integers(0, 100))
+    @settings(max_examples=100, deadline=None)
+    def test_runs_get_distinct_seeds(self, base, run_a, run_b):
+        if run_a != run_b:
+            assert derive_seed(base, "s", {}, run_a) != derive_seed(base, "s", {}, run_b)
+
+    def test_cells_get_distinct_seeds(self):
+        seeds = {
+            derive_seed(0, "s", {"protocol": p, "waves": w}, 0)
+            for p in ("2pc", "3pc", "skq", "qtp1", "qtp2")
+            for w in range(20)
+        }
+        assert len(seeds) == 100
+
+
+class TestSpecExpansion:
+    @given(
+        st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, unique=True),
+        st.integers(1, 5),
+        st.integers(0, 100),
+        st.sampled_from(["derived", "offset"]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_tasks_cover_grid_exactly_once(self, values, runs, base, seeding):
+        spec = SweepSpec(
+            "p",
+            pure_task,
+            grid={"scale": list(range(len(values)))},
+            runs=runs,
+            base_seed=base,
+            seeding=seeding,
+        )
+        tasks = spec.tasks()
+        assert len(tasks) == spec.n_tasks == len(values) * runs
+        assert [t.index for t in tasks] == list(range(len(tasks)))
+        pairs = {(t.params["scale"], t.run) for t in tasks}
+        assert len(pairs) == len(tasks)
+
+    def test_offset_seeding_replays_scenarios_across_cells(self):
+        spec = SweepSpec(
+            "p", pure_task, grid={"scale": [1, 2, 3]}, runs=4, base_seed=9, seeding="offset"
+        )
+        by_cell = {}
+        for t in spec.tasks():
+            by_cell.setdefault(t.params["scale"], []).append(t.seed)
+        assert all(seeds == [9, 10, 11, 12] for seeds in by_cell.values())
+
+
+class TestSerialParallelEquivalence:
+    def _artifact(self, workers: int, task, grid, runs: int, seeding: str) -> str:
+        spec = SweepSpec("equiv", task, grid=grid, runs=runs, seeding=seeding)
+        outcome = run_sweep(spec, workers=workers)
+        return ResultStore.encode(ResultStore.payload(outcome))
+
+    def test_pure_task_identical_across_worker_counts(self):
+        artifacts = {
+            self._artifact(w, pure_task, {"scale": [1, 2, 5]}, 8, "derived")
+            for w in (1, 2, 3, 5)
+        }
+        assert len(artifacts) == 1
+
+    def test_simulation_task_identical_serial_vs_parallel(self):
+        """The real thing: full cluster simulations fanned out."""
+        artifacts = {
+            self._artifact(w, availability_run, {"protocol": ["skq", "qtp1"]}, 4, "offset")
+            for w in (1, 2, 4)
+        }
+        assert len(artifacts) == 1
+
+    def test_chunksize_irrelevant(self):
+        spec = SweepSpec("chunk", pure_task, grid={"scale": [1, 2]}, runs=10)
+        outcomes = [
+            run_sweep(spec, workers=2, chunksize=c) for c in (1, 3, 100)
+        ]
+        payloads = {ResultStore.encode(ResultStore.payload(o)) for o in outcomes}
+        assert len(payloads) == 1
+
+    def test_store_files_identical(self, tmp_path):
+        spec = SweepSpec("stored", pure_task, grid={"scale": [2]}, runs=6)
+        bytes_by_workers = []
+        for w in (1, 3):
+            store = ResultStore(tmp_path / f"w{w}")
+            run_sweep(spec, workers=w, store=store)
+            bytes_by_workers.append(store.path_for("stored").read_bytes())
+        assert bytes_by_workers[0] == bytes_by_workers[1]

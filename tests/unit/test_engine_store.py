@@ -1,0 +1,133 @@
+"""Unit tests of the result store, artifact encoding and aggregation."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.engine import (
+    SCHEMA_VERSION,
+    ResultStore,
+    SweepSpec,
+    count_where,
+    fraction_of,
+    group_by,
+    jsonable,
+    map_runs,
+    mean_of,
+    run_sweep,
+    values_of,
+)
+
+
+def trial(seed, kind):
+    return {"kind": kind, "score": float(seed % 7)}
+
+
+@dataclass
+class Sample:
+    name: str
+    values: tuple
+    tags: frozenset
+
+
+class TestJsonable:
+    def test_dataclass_flattens(self):
+        out = jsonable(Sample("a", (1, 2), frozenset(["y", "x"])))
+        assert out == {"name": "a", "values": [1, 2], "tags": ["x", "y"]}
+
+    def test_nested_containers(self):
+        assert jsonable({"k": [(1, 2), {3}]}) == {"k": [[1, 2], [3]]}
+
+    def test_scalars_pass_through(self):
+        for v in (None, True, 3, 2.5, "s"):
+            assert jsonable(v) == v
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(TypeError, match="cannot encode"):
+            jsonable(object())
+
+
+class TestResultStore:
+    def _outcome(self):
+        spec = SweepSpec("demo", trial, grid={"kind": ["a", "b"]}, runs=3)
+        return run_sweep(spec)
+
+    def test_save_load_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save(self._outcome())
+        assert path == store.path_for("demo")
+        payload = store.load("demo")
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["sweep"] == "demo"
+        assert len(payload["results"]) == 6
+        assert payload["spec"]["grid"] == {"kind": ["a", "b"]}
+
+    def test_rows_keep_task_order(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(self._outcome())
+        rows = store.results("demo")
+        assert [r["index"] for r in rows] == list(range(6))
+
+    def test_newer_schema_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(self._outcome())
+        path = store.path_for("demo")
+        path.write_text(path.read_text().replace(f'"schema": {SCHEMA_VERSION}', '"schema": 99'))
+        with pytest.raises(ValueError, match="schema 99"):
+            store.load("demo")
+
+    def test_missing_artifact_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ResultStore(tmp_path).load("nope")
+
+    def test_sweep_names_sanitized_into_filenames(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.path_for("a/b c").name == "a-b-c.json"
+
+    def test_encoding_is_canonical(self):
+        outcome = self._outcome()
+        a = ResultStore.encode(ResultStore.payload(outcome))
+        b = ResultStore.encode(ResultStore.payload(outcome))
+        assert a == b
+        assert a.endswith("\n")
+
+
+class TestAggregationHelpers:
+    def _rows(self):
+        spec = SweepSpec("agg", trial, grid={"kind": ["a", "b"]}, runs=4, seeding="offset")
+        return run_sweep(spec).results
+
+    def test_group_by_partitions_rows(self):
+        groups = group_by(self._rows(), "kind")
+        assert sorted(groups) == ["a", "b"]
+        assert all(len(rows) == 4 for rows in groups.values())
+
+    def test_helpers_work_on_live_and_loaded_rows(self, tmp_path):
+        spec = SweepSpec("agg", trial, grid={"kind": ["a"]}, runs=4, seeding="offset")
+        store = ResultStore(tmp_path)
+        outcome = run_sweep(spec, store=store)
+        live = mean_of(outcome.results, lambda v: v["score"])
+        loaded = mean_of(store.results("agg"), lambda v: v["score"])
+        assert live == loaded
+
+    def test_values_count_fraction(self):
+        rows = self._rows()
+        scores = values_of(rows, lambda v: v["score"])
+        assert len(scores) == 8
+        n_zero = count_where(rows, lambda v: v["score"] == 0.0)
+        assert fraction_of(rows, lambda v: v["score"] == 0.0) == n_zero / 8
+
+    def test_empty_inputs(self):
+        assert mean_of([]) == 0.0
+        assert fraction_of([], lambda v: True) == 0.0
+
+
+class TestMapRuns:
+    def test_maps_seeds_in_order(self):
+        out = map_runs(trial, seeds=[3, 1, 2], kind="a")
+        assert [v["score"] for v in out] == [3.0, 1.0, 2.0]
+
+    def test_parallel_matches_serial(self):
+        serial = map_runs(trial, seeds=range(10), kind="b")
+        parallel = map_runs(trial, seeds=range(10), workers=3, kind="b")
+        assert serial == parallel

@@ -88,6 +88,95 @@ class TestCancellation:
         h1.cancel()
         assert scheduler.pending == 1
 
+    def test_cancel_while_queued_is_skipped_between_neighbours(self, scheduler):
+        """A cancelled entry sitting between two live ones is skipped at
+        pop time without disturbing their order or the clock."""
+        order = []
+        scheduler.call_at(1.0, order.append, "a")
+        victim = scheduler.call_at(2.0, order.append, "victim")
+        scheduler.call_at(3.0, order.append, "b")
+        victim.cancel()
+        scheduler.run()
+        assert order == ["a", "b"]
+        assert scheduler.now == 3.0
+        assert scheduler.events_run == 2
+
+    def test_cancel_from_inside_an_event(self, scheduler):
+        seen = []
+        later = scheduler.call_at(5.0, seen.append, "late")
+        scheduler.call_at(1.0, later.cancel)
+        scheduler.run()
+        assert seen == []
+        assert scheduler.pending == 0
+
+    def test_double_cancel_decrements_once(self, scheduler):
+        handle = scheduler.call_at(1.0, lambda: None)
+        scheduler.call_at(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert scheduler.pending == 1
+
+
+class TestPendingCounter:
+    """The O(1) ``pending`` counter must agree with a queue scan through
+    every push / cancel / pop interleaving."""
+
+    def _live_scan(self, scheduler):
+        return sum(1 for _, _, h in scheduler._queue if h.active)
+
+    def test_counts_pushes(self, scheduler):
+        for t in (1.0, 2.0, 3.0):
+            scheduler.call_at(t, lambda: None)
+        assert scheduler.pending == 3 == self._live_scan(scheduler)
+
+    def test_counter_through_cancel_and_pop(self, scheduler):
+        handles = [scheduler.call_at(float(t + 1), lambda: None) for t in range(6)]
+        handles[0].cancel()
+        handles[3].cancel()
+        assert scheduler.pending == 4 == self._live_scan(scheduler)
+        scheduler.step()  # skips cancelled handles[0], runs handles[1]
+        assert scheduler.pending == 3 == self._live_scan(scheduler)
+        scheduler.step()  # runs handles[2]
+        assert scheduler.pending == 2 == self._live_scan(scheduler)
+        scheduler.run()
+        assert scheduler.pending == 0
+        assert scheduler.events_run == 4
+
+    def test_counter_through_run_until(self, scheduler):
+        early = scheduler.call_at(1.0, lambda: None)
+        scheduler.call_at(2.0, lambda: None)
+        late = scheduler.call_at(10.0, lambda: None)
+        early.cancel()
+        scheduler.run_until(5.0)
+        assert scheduler.pending == 1 == self._live_scan(scheduler)
+        late.cancel()
+        assert scheduler.pending == 0 == self._live_scan(scheduler)
+        scheduler.run()
+        assert scheduler.pending == 0
+
+    def test_counter_with_events_scheduling_events(self, scheduler):
+        def fanout():
+            for _ in range(3):
+                scheduler.call_after(1.0, lambda: None)
+
+        scheduler.call_at(1.0, fanout)
+        assert scheduler.pending == 1
+        scheduler.step()
+        assert scheduler.pending == 3 == self._live_scan(scheduler)
+        scheduler.run()
+        assert scheduler.pending == 0
+
+    def test_tie_break_is_fifo_within_same_time(self, scheduler):
+        """(time, seq) ordering: equal-time events run in scheduling
+        order even when interleaved with cancellations."""
+        order = []
+        first = scheduler.call_at(1.0, order.append, "first")
+        scheduler.call_at(1.0, order.append, "second")
+        first.cancel()
+        scheduler.call_at(1.0, order.append, "third")
+        scheduler.run()
+        assert order == ["second", "third"]
+
 
 class TestRunControl:
     def test_run_returns_final_time(self, scheduler):
@@ -141,4 +230,24 @@ class TestRunControl:
 
         scheduler.call_at(0.0, forever)
         with pytest.raises(RuntimeError, match="livelock"):
+            scheduler.run()
+
+    def test_livelock_guard_counts_only_fired_events(self):
+        """Cancelled entries are skipped, not run — they must not eat
+        into the event budget."""
+        scheduler = Scheduler()
+        scheduler._max_events = 10
+        for t in range(50):
+            scheduler.call_at(float(t), lambda: None).cancel()
+        for t in range(10):
+            scheduler.call_at(100.0 + t, lambda: None)
+        assert scheduler.run() == 109.0  # exactly at budget: no raise
+        assert scheduler.events_run == 10
+
+    def test_livelock_guard_boundary(self):
+        scheduler = Scheduler()
+        scheduler._max_events = 5
+        for t in range(6):
+            scheduler.call_at(float(t), lambda: None)
+        with pytest.raises(RuntimeError, match="exceeded 5 events"):
             scheduler.run()
