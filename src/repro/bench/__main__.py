@@ -1,0 +1,198 @@
+"""``python -m repro.bench`` — the benchmark-regression CLI.
+
+Subcommands:
+
+* ``list``   — show registered cases and their sweep shapes.
+* ``run``    — execute the suite and write fresh ``BENCH_*.json`` files
+  to ``--out`` (CI uploads these as workflow artifacts).
+* ``diff``   — execute the suite and compare against the committed
+  baselines at ``--root``; ``--check`` exits non-zero on counter drift.
+* ``update`` — rewrite the committed baselines (then commit the result;
+  the diff of the JSON is the reviewable performance record).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any
+
+from repro.bench.cases import default_suite
+from repro.bench.diff import (
+    DEFAULT_TIME_TOLERANCE,
+    diff_against_baselines,
+    diff_stored_payloads,
+)
+from repro.bench.suite import BaselineStore, BenchSuite
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--case",
+        action="append",
+        dest="cases",
+        metavar="NAME",
+        help="restrict to one case (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process count for the sweep engine (default 1; counters are "
+        "identical at every worker count)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["full", "quick"],
+        default="full",
+        help="workload scale (quick is for smoke runs; committed baselines "
+        "are always full scale)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="benchmark-regression harness over the committed BENCH_*.json baselines",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show registered cases")
+
+    run = sub.add_parser("run", help="run the suite, write fresh artifacts")
+    _add_common(run)
+    run.add_argument(
+        "--out",
+        default="bench-out",
+        help="directory for fresh BENCH_*.json artifacts (default: bench-out)",
+    )
+
+    diff = sub.add_parser("diff", help="compare a fresh run against committed baselines")
+    _add_common(diff)
+    diff.add_argument(
+        "--root", default=".", help="directory of committed baselines (default: .)"
+    )
+    diff.add_argument(
+        "--time-tolerance",
+        type=float,
+        default=DEFAULT_TIME_TOLERANCE,
+        help="allowed wall-time ratio either way before a warning "
+        f"(default {DEFAULT_TIME_TOLERANCE:g}; <= 0 disables the time check)",
+    )
+    diff.add_argument(
+        "--fresh",
+        metavar="DIR",
+        help="compare the BENCH_*.json already written to DIR by `run --out` "
+        "instead of re-executing the suite (the gate and the uploaded "
+        "artifacts then come from the same run)",
+    )
+    diff.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero on counter drift (the CI gate)",
+    )
+    diff.add_argument(
+        "--strict-time",
+        action="store_true",
+        help="escalate wall-time warnings to failures under --check",
+    )
+
+    update = sub.add_parser("update", help="rewrite the committed baselines")
+    _add_common(update)
+    update.add_argument(
+        "--root", default=".", help="directory of committed baselines (default: .)"
+    )
+    return parser
+
+
+def _cmd_list(suite: BenchSuite) -> int:
+    for case in suite:
+        spec = case.spec
+        grid = {k: list(v) for k, v in spec.grid.items()}
+        print(f"{case.name}: grid={grid} runs={spec.runs} repeats={case.repeats}")
+    return 0
+
+
+def _cmd_run(suite: BenchSuite, args: argparse.Namespace) -> int:
+    store = BaselineStore(args.out)
+    for name, payload in suite.run(args.cases, workers=args.workers).items():
+        path = store.save(payload)
+        print(f"{name}: wrote {path} ({_timing_note(payload)})")
+    return 0
+
+
+def _cmd_diff(suite: BenchSuite, args: argparse.Namespace) -> int:
+    if args.fresh:
+        results = diff_stored_payloads(
+            BaselineStore(args.fresh),
+            BaselineStore(args.root),
+            names=args.cases or suite.names,
+            time_tolerance=args.time_tolerance,
+        )
+    else:
+        results = diff_against_baselines(
+            suite,
+            BaselineStore(args.root),
+            names=args.cases,
+            workers=args.workers,
+            time_tolerance=args.time_tolerance,
+        )
+    counter_drift = False
+    time_failures = False
+    for result in results:
+        print(result.describe())
+        if result.speedup is not None:
+            print(f"  speedup: {result.speedup:.2f}x")
+        if result.errors:
+            counter_drift = True
+        if args.strict_time and result.warnings:
+            time_failures = True
+    if counter_drift:
+        print("bench diff: DRIFT — deterministic counters changed; either fix the")
+        print("regression or re-baseline with `python -m repro.bench update`.")
+    elif time_failures:
+        print("bench diff: wall-time drift beyond tolerance (--strict-time); the")
+        print("deterministic counters are clean — check machine load before")
+        print("touching the baselines.")
+    else:
+        print(f"bench diff: {len(results)} case(s) clean")
+    if counter_drift or time_failures:
+        return 1 if args.check else 0
+    return 0
+
+
+def _cmd_update(suite: BenchSuite, args: argparse.Namespace) -> int:
+    store = BaselineStore(args.root)
+    for name, payload in suite.run(args.cases, workers=args.workers).items():
+        path = store.save(payload)
+        print(f"{name}: baselined {path} ({_timing_note(payload)})")
+    print("commit the rewritten BENCH_*.json files with your change.")
+    return 0
+
+
+def _timing_note(payload: dict[str, Any]) -> str:
+    timing = payload.get("timing") or {}
+    mean = (timing.get("wall_s") or {}).get("mean")
+    note = f"wall {mean:.3f}s" if mean is not None else "untimed"
+    derived = timing.get("derived") or {}
+    if "speedup" in derived:
+        note += f", speedup {derived['speedup']:.2f}x"
+    return note
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(default_suite())
+    suite = default_suite(args.scale)
+    if args.command == "run":
+        return _cmd_run(suite, args)
+    if args.command == "diff":
+        return _cmd_diff(suite, args)
+    if args.command == "update":
+        return _cmd_update(suite, args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

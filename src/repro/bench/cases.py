@@ -1,0 +1,474 @@
+"""The default benchmark cases.
+
+Each task function is a module-level callable (so it pickles into pool
+workers) that builds its own simulator from its seed and returns::
+
+    {"counters": {...deterministic...}, "timing": {...wall seconds...}}
+
+Representative workloads covered:
+
+* ``scheduler_drain`` — the event-queue hot path: schedule / cancel /
+  drain, both handle-carrying and ``call_fixed`` entries.
+* ``commit_mix`` — a 2PC / 3PC / QTP commit mix through a mid-run
+  partition episode (the paper's protocol spread, E17-flavoured).
+* ``heavy_workload`` — E18: Poisson traffic through repeated partition
+  episodes (:func:`~repro.experiments.workload_study.run_heavy_workload`).
+* ``wan_storm`` — E21: 32-site WAN region storms
+  (:func:`~repro.workload.scenarios.run_wan_storm`).
+* ``net_deliver_fanout`` — A/B microbench of the ``Network`` fan-out
+  path: legacy per-message connectivity evaluation vs the
+  partition-epoch reachable-peer cache.
+* ``wal_append`` — A/B microbench of the WAL append path: the exact
+  per-site ``force`` sequences harvested from ``run_heavy_workload``,
+  replayed against the legacy scan-per-decision log and the
+  group-commit/indexed log.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.bench.suite import BenchCase, BenchSuite
+from repro.common.errors import QuorumUnreachableError, TransactionAborted
+from repro.db.cluster import Cluster
+from repro.engine.spec import SweepSpec
+from repro.net.network import Network
+from repro.net.node import Node
+from repro.sim.failures import FailurePlan
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import Scheduler
+from repro.sim.trace import Tracer
+from repro.storage.wal import WriteAheadLog
+from repro.workload.generators import random_catalog, random_partition_groups
+
+
+def _cluster_counters(cluster: Cluster) -> dict[str, Any]:
+    """The deterministic network / WAL / scheduler tallies of a run."""
+    net = cluster.network
+    return {
+        "messages_sent": net.sent,
+        "messages_delivered": net.delivered,
+        "messages_dropped": net.dropped,
+        "events_run": cluster.scheduler.events_run,
+        "wal_forced": sum(site.wal.forced for site in cluster.sites.values()),
+        "wal_flushes": sum(site.wal.flushes for site in cluster.sites.values()),
+    }
+
+
+# ----------------------------------------------------------------------
+# scheduler drain
+# ----------------------------------------------------------------------
+
+
+def scheduler_drain_trial(seed: int, n_events: int = 20_000) -> dict[str, Any]:
+    """Schedule ``n_events`` (hash-scattered times), cancel a third,
+    add a ``call_fixed`` batch, drain — the PR 1 scheduler mix plus the
+    non-cancellable fast entries deliveries now use."""
+    sched = Scheduler()
+    handles = [
+        sched.call_at(float((i * 2654435761 + seed) % 997), _noop) for i in range(n_events)
+    ]
+    for handle in handles[::3]:
+        handle.cancel()
+    for i in range(n_events // 2):
+        sched.call_fixed(float((i * 40503 + seed) % 997), _noop)
+    t0 = time.perf_counter()
+    sched.run()
+    wall = time.perf_counter() - t0
+    return {
+        "counters": {
+            "events_run": sched.events_run,
+            "pending_after": sched.pending,
+            "final_now": sched.now,
+        },
+        "timing": {"wall_s": wall},
+    }
+
+
+def _noop() -> None:
+    """Scheduler filler event."""
+
+
+# ----------------------------------------------------------------------
+# commit mix
+# ----------------------------------------------------------------------
+
+
+def commit_mix_trial(seed: int, protocol: str, n_txns: int = 16) -> dict[str, Any]:
+    """Drive ``n_txns`` single-item updates through one partition
+    episode under ``protocol`` and tally outcomes and traffic."""
+    registry = RngRegistry(seed)
+    rng = registry.stream("commit-mix")
+    catalog = random_catalog(rng, n_sites=6, n_items=4, replication=3)
+    cluster = Cluster(catalog, protocol=protocol, seed=seed)
+    groups = random_partition_groups(rng, cluster.network.sites, 2)
+    cluster.arm_failures(FailurePlan().partition(25.0, *groups).heal(60.0))
+
+    outcomes: dict[str, str] = {}
+
+    def submit_one(index: int) -> None:
+        item = rng.choice(catalog.item_names)
+        origin = rng.choice(catalog.sites_of(item))
+        if not cluster.sites[origin].alive:
+            return
+        try:
+            handle = cluster.update(origin, {item: index})
+        except (QuorumUnreachableError, TransactionAborted):
+            outcomes[f"client-{index}"] = "client-aborted"
+            return
+        outcomes[handle.txn] = "submitted"
+
+    t0 = time.perf_counter()
+    for i in range(n_txns):
+        cluster.scheduler.call_at(1.0 + i * 5.0, submit_one, i)
+    cluster.run()
+    wall = time.perf_counter() - t0
+
+    tally = {"commit": 0, "abort": 0, "blocked": 0, "client-aborted": 0}
+    for txn, status in outcomes.items():
+        if status == "client-aborted":
+            tally["client-aborted"] += 1
+            continue
+        verdict = cluster.outcome(txn).outcome
+        tally[verdict] = tally.get(verdict, 0) + 1
+    counters = {**tally, **_cluster_counters(cluster)}
+    return {"counters": counters, "timing": {"wall_s": wall}}
+
+
+# ----------------------------------------------------------------------
+# E18 heavy workload
+# ----------------------------------------------------------------------
+
+
+def heavy_workload_trial(
+    seed: int, protocol: str, n_txns: int = 120, n_sites: int = 12
+) -> dict[str, Any]:
+    """One E18 heavy-traffic run; counters from the workload result plus
+    the cluster probe (network / WAL / scheduler tallies)."""
+    from repro.experiments.workload_study import run_heavy_workload
+
+    harvested: dict[str, Any] = {}
+    t0 = time.perf_counter()
+    result = run_heavy_workload(
+        protocol,
+        seed=seed,
+        n_txns=n_txns,
+        n_sites=n_sites,
+        probe=lambda cluster: harvested.update(_cluster_counters(cluster)),
+    )
+    wall = time.perf_counter() - t0
+    counters = {
+        "submitted": result.submitted,
+        "committed": result.committed,
+        "client_aborted": result.client_aborted,
+        "protocol_aborted": result.protocol_aborted,
+        "blocked": result.blocked,
+        "serializable": result.serializable,
+        **harvested,
+    }
+    return {"counters": counters, "timing": {"wall_s": wall}}
+
+
+# ----------------------------------------------------------------------
+# E21 WAN region storm
+# ----------------------------------------------------------------------
+
+
+def wan_storm_trial(seed: int, protocol: str, heal: bool) -> dict[str, Any]:
+    """One E21 region-storm run at full installation scale."""
+    from repro.workload.scenarios import run_wan_storm
+
+    t0 = time.perf_counter()
+    scenario = run_wan_storm(protocol, seed=seed, heal=heal)
+    wall = time.perf_counter() - t0
+    counters = {
+        "outcome": scenario.outcome,
+        "decided_sites": len(scenario.cluster.tracer.decisions(scenario.txn.txn)),
+        **_cluster_counters(scenario.cluster),
+    }
+    return {"counters": counters, "timing": {"wall_s": wall}}
+
+
+# ----------------------------------------------------------------------
+# Network.deliver fan-out microbench
+# ----------------------------------------------------------------------
+
+
+class _Sink(Node):
+    """Minimal node that swallows bench pings."""
+
+    def __init__(self, node_id: int, network: Network) -> None:
+        super().__init__(node_id, network)
+        self.on("bench.ping", _swallow)
+
+
+def _swallow(msg: Any) -> None:
+    """Bench ping handler."""
+
+
+def net_fanout_trial(
+    seed: int, cached: bool, n_sites: int = 24, rounds: int = 40
+) -> dict[str, Any]:
+    """Broadcast storms through connected, partitioned and crash phases.
+
+    The ``cached`` grid axis selects the legacy per-message connectivity
+    evaluation (``False``) or the partition-epoch reachable-peer cache
+    (``True``); counters must be identical on both sides — only the
+    wall time may differ.  The phase changes (partition, crash, heal,
+    recover) deliberately churn the cache so invalidation cost is part
+    of the measurement.
+    """
+    sched = Scheduler()
+    network = Network(
+        sched, Tracer(capacity=0), RngRegistry(seed), fanout_cache=cached
+    )
+    nodes = [_Sink(i, network) for i in range(n_sites)]
+    third = n_sites // 3
+    everyone = list(range(n_sites))
+
+    def storm() -> None:
+        for node in nodes:
+            if node.alive:
+                node.broadcast(everyone, "bench.ping", "T")
+        sched.run()
+
+    t0 = time.perf_counter()
+    for _ in range(rounds):
+        # phase 1: fully connected fan-out (the common protocol case,
+        # weighted double — most protocol traffic runs unpartitioned)
+        storm()
+        storm()
+        # phase 2: two components — cross-component fan-out drops
+        network.set_partition([everyone[: 2 * third], everyone[2 * third :]])
+        storm()
+        # phase 3: crashes + a three-way split mid-flight
+        network.crash_site(0)
+        network.crash_site(n_sites - 1)
+        network.set_partition([everyone[:third], everyone[third : 2 * third], everyone[2 * third :]])
+        storm()
+        # phase 4: heal and recover — cache busted again
+        network.heal()
+        network.recover_site(0)
+        network.recover_site(n_sites - 1)
+    wall = time.perf_counter() - t0
+    return {
+        "counters": {
+            "sent": network.sent,
+            "delivered": network.delivered,
+            "dropped": network.dropped,
+            "events_run": sched.events_run,
+            "epochs": network.epoch,
+        },
+        "timing": {"wall_s": wall},
+    }
+
+
+# ----------------------------------------------------------------------
+# WAL append microbench
+# ----------------------------------------------------------------------
+
+
+def wal_append_trial(
+    seed: int,
+    grouped: bool,
+    n_txns: int = 260,
+    n_sites: int = 8,
+    replays: int = 6,
+) -> dict[str, Any]:
+    """Replay ``run_heavy_workload``'s exact WAL force sequences.
+
+    A heavy E18 run is executed once (deterministic per seed) and every
+    site's ``force`` call sequence is harvested from its log; the
+    sequences are then replayed ``replays`` times into fresh logs in
+    legacy (``grouped=False``) or group-commit/indexed (``True``) mode.
+    Only the replay is timed, so the number is the WAL append path
+    itself under a real workload's record mix.
+    """
+    from repro.experiments.workload_study import run_heavy_workload
+
+    sequences: dict[int, list[Any]] = {}
+
+    def harvest(cluster: Cluster) -> None:
+        for sid, site in cluster.sites.items():
+            sequences[sid] = [(r.txn, r.kind, r.payload) for r in site.wal]
+
+    run_heavy_workload(
+        "qtp1", seed=seed, n_txns=n_txns, n_sites=n_sites, probe=harvest
+    )
+    total_forced = 0
+    total_flushes = 0
+    kinds: dict[str, int] = {}
+    wall = float("inf")
+    for _ in range(replays):
+        logs = {sid: WriteAheadLog(sid, group_commit=grouped) for sid in sequences}
+        t0 = time.perf_counter()
+        for sid, seq in sequences.items():
+            wal = logs[sid]
+            for txn, kind, payload in seq:
+                wal.force(txn, kind, **payload)
+        # best single replay: GC pauses and scheduler noise hit some
+        # replays, not the append path under test
+        wall = min(wall, time.perf_counter() - t0)
+    for wal in logs.values():
+        total_forced += wal.forced
+        total_flushes += wal.flushes
+        for record in wal:
+            kinds[record.kind] = kinds.get(record.kind, 0) + 1
+    return {
+        "counters": {
+            "forced": total_forced,
+            "flushes": total_flushes,
+            "open_txns": sum(len(w.open_txns()) for w in logs.values()),
+            **{f"kind_{k}": v for k, v in sorted(kinds.items())},
+        },
+        "timing": {"wall_s": wall},
+    }
+
+
+# ----------------------------------------------------------------------
+# the default suite
+# ----------------------------------------------------------------------
+
+
+def ab_speedup(param: str) -> Any:
+    """Derived-timing hook: paired legacy/optimized speedup.
+
+    Rows are paired by run index — the same seed, hence the *same*
+    workload, on both sides of the A/B axis — and the committed speedup
+    is the mean of the per-pair wall-time ratios (the repo's usual
+    paired-comparison design; an unpaired min would compare different
+    workloads)."""
+
+    def derive(rows: list[dict[str, Any]]) -> dict[str, Any]:
+        legacy: dict[int, float] = {}
+        optimized: dict[int, float] = {}
+        for row in rows:
+            bucket = optimized if row["params"][param] else legacy
+            run = row["run"]
+            # best wall per run across repeats: noise hits some repeats,
+            # not the code path under test
+            bucket[run] = min(bucket.get(run, float("inf")), row["wall_s"])
+        paired = sorted(set(legacy) & set(optimized))
+        if not paired:
+            return {}
+        ratios = [legacy[run] / optimized[run] for run in paired]
+        return {
+            "legacy_s": sum(legacy[run] for run in paired) / len(paired),
+            "optimized_s": sum(optimized[run] for run in paired) / len(paired),
+            "speedup": sum(ratios) / len(ratios),
+        }
+
+    return derive
+
+
+#: grid sizes per scale; "quick" keeps the property tests snappy.
+_SCALES = {
+    "full": {
+        "drain_events": 20_000,
+        "commit_txns": 16,
+        "heavy_txns": 120,
+        "heavy_sites": 12,
+        "heavy_runs": 2,
+        "fanout_rounds": 40,
+        "wal_txns": 400,
+        "wal_replays": 6,
+        "repeats": 3,
+    },
+    "quick": {
+        "drain_events": 2_000,
+        "commit_txns": 6,
+        "heavy_txns": 24,
+        "heavy_sites": 6,
+        "heavy_runs": 1,
+        "fanout_rounds": 3,
+        "wal_txns": 40,
+        "wal_replays": 1,
+        "repeats": 1,
+    },
+}
+
+
+def default_suite(scale: str = "full") -> BenchSuite:
+    """The registered benchmark suite at ``"full"`` (committed
+    baselines) or ``"quick"`` (tests) scale."""
+    if scale not in _SCALES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(_SCALES)}")
+    s = _SCALES[scale]
+    repeats = s["repeats"]
+    return BenchSuite(
+        [
+            BenchCase(
+                name="scheduler_drain",
+                spec=SweepSpec(
+                    name="bench-scheduler-drain",
+                    task=scheduler_drain_trial,
+                    grid={},
+                    runs=2,
+                    fixed={"n_events": s["drain_events"]},
+                ),
+                repeats=repeats,
+            ),
+            BenchCase(
+                name="commit_mix",
+                spec=SweepSpec(
+                    name="bench-commit-mix",
+                    task=commit_mix_trial,
+                    grid={"protocol": ["2pc", "3pc", "qtp1", "qtp2"]},
+                    runs=2,
+                    seeding="offset",
+                    fixed={"n_txns": s["commit_txns"]},
+                ),
+                repeats=repeats,
+            ),
+            BenchCase(
+                name="heavy_workload",
+                spec=SweepSpec(
+                    name="bench-heavy-workload",
+                    task=heavy_workload_trial,
+                    grid={"protocol": ["2pc", "qtp1"]},
+                    runs=s["heavy_runs"],
+                    seeding="offset",
+                    fixed={"n_txns": s["heavy_txns"], "n_sites": s["heavy_sites"]},
+                ),
+                repeats=repeats,
+            ),
+            BenchCase(
+                name="wan_storm",
+                spec=SweepSpec(
+                    name="bench-wan-storm",
+                    task=wan_storm_trial,
+                    grid={"protocol": ["qtp1", "qtp2"], "heal": [False, True]},
+                    runs=1,
+                    seeding="offset",
+                ),
+                repeats=repeats,
+            ),
+            BenchCase(
+                name="net_deliver_fanout",
+                spec=SweepSpec(
+                    name="bench-net-deliver-fanout",
+                    task=net_fanout_trial,
+                    grid={"cached": [False, True]},
+                    runs=2,
+                    seeding="offset",
+                    fixed={"rounds": s["fanout_rounds"]},
+                ),
+                repeats=repeats,
+                derived=ab_speedup("cached"),
+            ),
+            BenchCase(
+                name="wal_append",
+                spec=SweepSpec(
+                    name="bench-wal-append",
+                    task=wal_append_trial,
+                    grid={"grouped": [False, True]},
+                    runs=2,
+                    seeding="offset",
+                    fixed={"n_txns": s["wal_txns"], "replays": s["wal_replays"]},
+                ),
+                repeats=repeats,
+                derived=ab_speedup("grouped"),
+            ),
+        ]
+    )

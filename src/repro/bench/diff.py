@@ -1,0 +1,224 @@
+"""Comparing fresh bench runs against committed baselines.
+
+The contract mirrors the suite's split of every case into a
+deterministic part and a timing part:
+
+* **counters, spec, schema, row layout** — compared exactly.  Any
+  difference is a hard failure (:attr:`CaseDiff.errors`): either a
+  genuine regression (a protocol now sends more messages, a workload
+  commits fewer transactions) or an intentional change that must be
+  re-baselined with ``bench update`` and reviewed in the diff of the
+  committed ``BENCH_*.json``.
+* **wall time** — machine-dependent; the fresh mean is compared to the
+  committed mean within a configurable ratio and reported as a warning
+  (:attr:`CaseDiff.warnings`) when it strays outside.  Warnings never
+  fail ``--check`` unless ``--strict-time`` asks them to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.bench.suite import (
+    BaselineStore,
+    BenchSuite,
+    deterministic_payload,
+)
+from repro.common.errors import StoreError
+
+#: how far the fresh wall-time mean may stray from the committed one
+#: (in either direction) before a warning is raised.
+DEFAULT_TIME_TOLERANCE = 5.0
+
+#: cap on per-row mismatch listings so a wholesale drift stays readable.
+MAX_ROW_REPORTS = 12
+
+
+@dataclass
+class CaseDiff:
+    """The comparison verdict for one case."""
+
+    case: str
+    errors: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    speedup: float | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when no hard failure was found."""
+        return not self.errors
+
+    def describe(self) -> str:
+        """Multi-line human-readable report."""
+        status = "ok" if self.ok else "DRIFT"
+        lines = [f"{self.case}: {status}"]
+        lines.extend(f"  error: {e}" for e in self.errors)
+        lines.extend(f"  warning: {w}" for w in self.warnings)
+        return "\n".join(lines)
+
+
+def compare_case(
+    baseline: dict[str, Any],
+    fresh: dict[str, Any],
+    time_tolerance: float = DEFAULT_TIME_TOLERANCE,
+) -> CaseDiff:
+    """Compare one fresh payload against its committed baseline."""
+    name = fresh.get("case", baseline.get("case", "?"))
+    diff = CaseDiff(case=name)
+    base_det = deterministic_payload(baseline)
+    fresh_det = deterministic_payload(fresh)
+    if base_det.get("schema") != fresh_det.get("schema"):
+        diff.errors.append(
+            f"schema mismatch: baseline {base_det.get('schema')!r} vs "
+            f"fresh {fresh_det.get('schema')!r} — regenerate with bench update"
+        )
+        return diff
+    if base_det.get("spec") != fresh_det.get("spec"):
+        diff.errors.append(
+            "sweep spec changed (grid/runs/seeding/task differ from the "
+            "committed baseline) — re-baseline with bench update"
+        )
+        return diff
+    _compare_rows(diff, base_det.get("rows", []), fresh_det.get("rows", []))
+    _compare_timing(diff, baseline.get("timing"), fresh.get("timing"), time_tolerance)
+    derived = (fresh.get("timing") or {}).get("derived") or {}
+    if "speedup" in derived:
+        diff.speedup = derived["speedup"]
+    return diff
+
+
+def _compare_rows(
+    diff: CaseDiff, base_rows: list[dict[str, Any]], fresh_rows: list[dict[str, Any]]
+) -> None:
+    """Exact comparison of the deterministic counter rows."""
+    if len(base_rows) != len(fresh_rows):
+        diff.errors.append(
+            f"row count changed: baseline {len(base_rows)} vs fresh {len(fresh_rows)}"
+        )
+        return
+    reported = 0
+    for index, (base, new) in enumerate(zip(base_rows, fresh_rows)):
+        if base == new:
+            continue
+        if reported >= MAX_ROW_REPORTS:
+            diff.errors.append("... further row drift suppressed")
+            return
+        for key in ("params", "run", "seed"):
+            if base.get(key) != new.get(key):
+                diff.errors.append(
+                    f"row {index}: {key} changed {base.get(key)!r} -> {new.get(key)!r}"
+                )
+                reported += 1
+        base_counters = base.get("counters", {})
+        new_counters = new.get("counters", {})
+        for counter in sorted(set(base_counters) | set(new_counters)):
+            old_value = base_counters.get(counter, "<absent>")
+            new_value = new_counters.get(counter, "<absent>")
+            if old_value != new_value:
+                diff.errors.append(
+                    f"row {index} ({_cell_label(base)}): counter {counter!r} "
+                    f"drifted {old_value!r} -> {new_value!r}"
+                )
+                reported += 1
+
+
+def _cell_label(row: dict[str, Any]) -> str:
+    params = row.get("params", {})
+    cell = ", ".join(f"{k}={v}" for k, v in sorted(params.items()))
+    return f"{cell or 'single cell'}, run {row.get('run')}"
+
+
+def _compare_timing(
+    diff: CaseDiff,
+    base_timing: dict[str, Any] | None,
+    fresh_timing: dict[str, Any] | None,
+    tolerance: float,
+) -> None:
+    """Ratio check on the mean wall time (noise-tolerant, warning only)."""
+    if tolerance <= 0 or not base_timing or not fresh_timing:
+        return
+    base_mean = (base_timing.get("wall_s") or {}).get("mean")
+    fresh_mean = (fresh_timing.get("wall_s") or {}).get("mean")
+    if not base_mean or not fresh_mean:
+        return
+    ratio = fresh_mean / base_mean
+    if ratio > tolerance or ratio < 1.0 / tolerance:
+        diff.warnings.append(
+            f"wall time {fresh_mean:.3f}s is {ratio:.2f}x the committed "
+            f"{base_mean:.3f}s (tolerance {tolerance:g}x) — investigate or "
+            "re-baseline"
+        )
+
+
+def _compare_to_baseline(
+    name: str,
+    fresh: dict[str, Any],
+    store: BaselineStore,
+    time_tolerance: float,
+) -> CaseDiff:
+    """Load one committed baseline and compare a fresh payload to it."""
+    try:
+        baseline = store.load(name)
+    except FileNotFoundError:
+        return CaseDiff(
+            case=name,
+            errors=[
+                f"no committed baseline {store.path_for(name)} — "
+                "create it with bench update"
+            ],
+        )
+    except StoreError as exc:
+        return CaseDiff(case=name, errors=[str(exc)])
+    return compare_case(baseline, fresh, time_tolerance)
+
+
+def diff_against_baselines(
+    suite: BenchSuite,
+    store: BaselineStore,
+    names: Iterable[str] | None = None,
+    workers: int = 1,
+    time_tolerance: float = DEFAULT_TIME_TOLERANCE,
+) -> list[CaseDiff]:
+    """Run the suite fresh and compare each case to its baseline."""
+    picked = list(names) if names is not None else suite.names
+    return [
+        _compare_to_baseline(
+            name, suite.run_case(name, workers=workers), store, time_tolerance
+        )
+        for name in picked
+    ]
+
+
+def diff_stored_payloads(
+    fresh_store: BaselineStore,
+    baseline_store: BaselineStore,
+    names: Iterable[str],
+    time_tolerance: float = DEFAULT_TIME_TOLERANCE,
+) -> list[CaseDiff]:
+    """Compare already-written fresh artifacts against the baselines.
+
+    The CI path: ``bench run --out DIR`` executes the suite once and
+    uploads DIR; this diffs those exact payloads, so the gate and the
+    uploaded artifacts come from the same run.
+    """
+    out: list[CaseDiff] = []
+    for name in names:
+        try:
+            fresh = fresh_store.load(name)
+        except FileNotFoundError:
+            out.append(
+                CaseDiff(
+                    case=name,
+                    errors=[
+                        f"no fresh artifact {fresh_store.path_for(name)} — "
+                        "run `bench run --out` first"
+                    ],
+                )
+            )
+            continue
+        except StoreError as exc:
+            out.append(CaseDiff(case=name, errors=[str(exc)]))
+            continue
+        out.append(_compare_to_baseline(name, fresh, baseline_store, time_tolerance))
+    return out

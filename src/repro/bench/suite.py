@@ -1,0 +1,280 @@
+"""Benchmark cases, the suite registry, and baseline artifacts.
+
+A :class:`BenchCase` wraps a :class:`~repro.engine.spec.SweepSpec`
+whose task functions return ``{"counters": {...}, "timing": {...}}``:
+
+* ``counters`` are **deterministic** — a pure function of the seed
+  (messages sent/delivered, WAL records forced, commits/aborts, events
+  run).  They are the regression gate: any drift against the committed
+  baseline fails ``bench diff``.
+* ``timing`` rows are wall-clock floats — machine-dependent noise,
+  recorded for trend-reading and compared only within a configurable
+  ratio.
+
+:class:`BenchSuite` runs cases through the PR 1 sweep engine
+(:func:`~repro.engine.executor.run_sweep` — so the whole suite can fan
+out over workers, and counters are bit-identical at every worker
+count), re-runs each case ``repeats`` times for a
+:func:`~repro.experiments.stats.mean_ci` wall-time interval, and
+asserts that the deterministic rows agree across repeats.
+
+:class:`BaselineStore` reads/writes the committed ``BENCH_<case>.json``
+files at the repo root, canonically encoded so the deterministic
+portion is byte-stable (the fixed-point property tests pin this).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.common.errors import StoreError
+from repro.engine.executor import SweepOutcome, run_sweep
+from repro.engine.spec import SweepSpec
+from repro.engine.store import jsonable
+
+#: bump when the BENCH_<case>.json layout changes shape.
+SCHEMA_VERSION = 1
+
+#: committed baseline filename prefix (repo root).
+BASELINE_PREFIX = "BENCH_"
+
+
+class BenchError(RuntimeError):
+    """A benchmark case misbehaved (nondeterminism, bad task contract)."""
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One registered benchmark: a sweep plus timing policy.
+
+    Args:
+        name: case identifier; becomes ``BENCH_<name>.json``.
+        spec: the deterministic workload.  Task functions must return
+            ``{"counters": dict, "timing": dict}`` (timing optional).
+        repeats: how many times the sweep is re-run for the wall-time
+            confidence interval (counters must agree across repeats).
+        derived: optional hook mapping the per-row timing list to extra
+            derived timing entries (e.g. a legacy/optimized speedup).
+    """
+
+    name: str
+    spec: SweepSpec
+    repeats: int = 3
+    derived: Callable[[list[dict[str, Any]]], dict[str, Any]] | None = None
+
+    def __post_init__(self) -> None:
+        bad = set(self.name) - set("abcdefghijklmnopqrstuvwxyz0123456789_-")
+        if bad:
+            raise ValueError(f"case name {self.name!r} has unsafe characters {sorted(bad)}")
+        if self.repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {self.repeats}")
+
+
+def _split_value(case: str, value: Any) -> tuple[dict[str, Any], dict[str, Any]]:
+    """Validate the task contract and split counters from timing."""
+    if not isinstance(value, dict) or "counters" not in value:
+        raise BenchError(
+            f"case {case!r}: task must return {{'counters': ..., 'timing': ...}}, "
+            f"got {type(value).__name__}"
+        )
+    timing = value.get("timing", {})
+    return value["counters"], timing
+
+
+def deterministic_rows(case: str, outcome: SweepOutcome) -> list[dict[str, Any]]:
+    """The counter rows of an executed case sweep (JSON-safe)."""
+    rows = []
+    for result in outcome.results:
+        counters, _timing = _split_value(case, result.value)
+        rows.append(
+            {
+                "params": jsonable(result.params),
+                "run": result.run,
+                "seed": result.seed,
+                "counters": jsonable(counters),
+            }
+        )
+    return rows
+
+
+def timing_rows(case: str, outcome: SweepOutcome) -> list[dict[str, Any]]:
+    """The wall-clock rows of an executed case sweep (JSON-safe)."""
+    rows = []
+    for result in outcome.results:
+        _counters, timing = _split_value(case, result.value)
+        rows.append({"params": jsonable(result.params), "run": result.run, **jsonable(timing)})
+    return rows
+
+
+def deterministic_payload(payload: dict[str, Any]) -> dict[str, Any]:
+    """A baseline payload with the machine-dependent timing stripped.
+
+    This is the byte-stable portion: two runs of the same suite at any
+    worker count encode it identically, and ``bench diff`` compares
+    exactly this.
+    """
+    return {k: v for k, v in payload.items() if k != "timing"}
+
+
+def encode(payload: dict[str, Any]) -> str:
+    """Canonical baseline encoding (sorted keys, fixed indentation)."""
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+class BenchSuite:
+    """Ordered registry of benchmark cases."""
+
+    def __init__(self, cases: Iterable[BenchCase] = ()) -> None:
+        self._cases: dict[str, BenchCase] = {}
+        for case in cases:
+            self.add(case)
+
+    def add(self, case: BenchCase) -> BenchCase:
+        """Register a case (duplicate names are a configuration bug)."""
+        if case.name in self._cases:
+            raise ValueError(f"duplicate bench case {case.name!r}")
+        self._cases[case.name] = case
+        return case
+
+    def __iter__(self) -> Iterator[BenchCase]:
+        return iter(self._cases.values())
+
+    def __len__(self) -> int:
+        return len(self._cases)
+
+    @property
+    def names(self) -> list[str]:
+        """Registered case names, in registration order."""
+        return list(self._cases)
+
+    def case(self, name: str) -> BenchCase:
+        """Look up one case by name."""
+        try:
+            return self._cases[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown bench case {name!r}; registered: {self.names}"
+            ) from None
+
+    def run_case(
+        self,
+        name: str,
+        workers: int = 1,
+        measure_time: bool = True,
+    ) -> dict[str, Any]:
+        """Execute one case; returns its full baseline payload.
+
+        With ``measure_time=False`` the sweep runs once and the payload
+        carries no ``timing`` key at all — that is the byte-stable form
+        the fixed-point property tests exercise.
+
+        Raises:
+            BenchError: when the deterministic rows differ between
+                repeats — a case leaking nondeterminism must fail loudly
+                rather than commit an unstable baseline.
+        """
+        case = self.case(name)
+        repeats = case.repeats if measure_time else 1
+        walls: list[float] = []
+        rows: list[dict[str, Any]] | None = None
+        t_rows: list[dict[str, Any]] = []
+        for repeat in range(repeats):
+            t0 = time.perf_counter()
+            outcome = run_sweep(case.spec, workers=workers)
+            walls.append(time.perf_counter() - t0)
+            fresh = deterministic_rows(case.name, outcome)
+            if rows is None:
+                rows = fresh
+            elif rows != fresh:
+                raise BenchError(
+                    f"case {case.name!r}: deterministic counters differ between "
+                    "repeats — the workload is leaking nondeterminism"
+                )
+            if measure_time:
+                # every repeat contributes timing samples, so derived
+                # numbers (the committed speedups) are not a single
+                # last-repeat measurement
+                for row in timing_rows(case.name, outcome):
+                    t_rows.append({**row, "repeat": repeat})
+        payload: dict[str, Any] = {
+            "schema": SCHEMA_VERSION,
+            "case": case.name,
+            "spec": case.spec.summary(),
+            "rows": rows,
+        }
+        if measure_time:
+            payload["timing"] = {
+                "wall_s": _summarize(walls),
+                "rows": t_rows,
+                "derived": case.derived(t_rows) if case.derived is not None else {},
+            }
+        return payload
+
+    def run(
+        self,
+        names: Iterable[str] | None = None,
+        workers: int = 1,
+        measure_time: bool = True,
+    ) -> dict[str, dict[str, Any]]:
+        """Execute several cases (default: all), in registration order."""
+        picked = list(names) if names is not None else self.names
+        return {
+            name: self.run_case(name, workers=workers, measure_time=measure_time)
+            for name in picked
+        }
+
+
+def _summarize(walls: list[float]) -> dict[str, Any]:
+    """Mean and t-interval of the repeat wall times (stats.mean_ci)."""
+    from repro.experiments.stats import mean_ci
+
+    ci = mean_ci(walls)
+    return {"mean": ci.mean, "low": ci.low, "high": ci.high, "n": ci.n}
+
+
+class BaselineStore:
+    """The committed ``BENCH_<case>.json`` files under one root."""
+
+    def __init__(self, root: str | Path = ".") -> None:
+        self.root = Path(root)
+
+    def path_for(self, case: str) -> Path:
+        """The baseline path of a case."""
+        return self.root / f"{BASELINE_PREFIX}{case}.json"
+
+    def save(self, payload: dict[str, Any]) -> Path:
+        """Write one case's baseline; returns its path."""
+        path = self.path_for(payload["case"])
+        self.root.mkdir(parents=True, exist_ok=True)
+        path.write_text(encode(payload))
+        return path
+
+    def load(self, case: str) -> dict[str, Any]:
+        """Read a committed baseline back.
+
+        Raises:
+            FileNotFoundError: no baseline for that case.
+            StoreError: the baseline's schema version does not match
+                this library's — stale baselines must be regenerated
+                with ``bench update``, never silently reinterpreted.
+        """
+        payload = json.loads(self.path_for(case).read_text())
+        found = payload.get("schema")
+        if found != SCHEMA_VERSION:
+            raise StoreError(
+                f"baseline {case!r} has schema {found!r}, this library "
+                f"writes {SCHEMA_VERSION}; regenerate it with "
+                "`python -m repro.bench update`"
+            )
+        return payload
+
+    def known_cases(self) -> list[str]:
+        """Case names with a committed baseline, sorted."""
+        return sorted(
+            p.name[len(BASELINE_PREFIX) : -len(".json")]
+            for p in self.root.glob(f"{BASELINE_PREFIX}*.json")
+        )

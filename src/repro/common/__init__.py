@@ -13,6 +13,7 @@ from repro.common.errors import (
     ReproError,
     SiteDownError,
     StorageError,
+    StoreError,
     TransactionAborted,
     TransactionBlocked,
 )
@@ -27,6 +28,7 @@ __all__ = [
     "SiteDownError",
     "SiteId",
     "StorageError",
+    "StoreError",
     "TransactionAborted",
     "TransactionBlocked",
     "TxnId",

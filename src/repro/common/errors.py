@@ -30,6 +30,15 @@ class StorageError(ReproError):
     """A write-ahead-log or replica-store operation failed."""
 
 
+class StoreError(ReproError, ValueError):
+    """A persisted artifact (sweep result, bench baseline) is unusable.
+
+    Raised on schema-version mismatch instead of handing back a stale
+    payload the caller would misread.  Also a ``ValueError`` so callers
+    that predate the dedicated class keep working.
+    """
+
+
 class SiteDownError(ReproError):
     """An operation was attempted on a crashed site.
 

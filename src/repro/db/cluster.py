@@ -20,17 +20,12 @@ name       protocol                                        termination
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping
-
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.analysis.availability import AvailabilityReport, availability_snapshot
 from repro.analysis.consistency import ConsistencyReport, check_atomicity
 from repro.common.errors import ConfigurationError, QuorumUnreachableError
 from repro.concurrency.serializability import CommittedTxn
-
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.db.transactions import InteractiveTransaction
 from repro.common.ids import make_txn_id
 from repro.db.site import Site, SiteHooks
 from repro.db.txn import TxnHandle
@@ -50,6 +45,9 @@ from repro.sim.failures import FailureInjector, FailurePlan
 from repro.sim.rng import RngRegistry
 from repro.sim.scheduler import Scheduler
 from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.transactions import InteractiveTransaction
 
 PROTOCOL_NAMES = ("2pc", "3pc", "skq", "qtp1", "qtp2", "qtpp")
 

@@ -67,8 +67,7 @@ class ElectionMixin:
         record.heard_higher = False
         higher = [s for s in record.participants if s > self.node.node_id]
         self.node.trace("election", txn, round=record.election_rounds, higher=higher)
-        for site in higher:
-            self.node.send(site, "elect.inquiry", txn)
+        self.node.multicast(higher, "elect.inquiry", txn)
         window = 2 * self._T * (1 + 1e-6) if higher else 0.0
         record.set_timer(
             self.node, window, self._election_window_closed, txn, label="elect-window"

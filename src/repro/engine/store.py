@@ -21,6 +21,7 @@ import json
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping
 
+from repro.common.errors import StoreError
 from repro.engine.executor import SweepOutcome
 
 #: bump when the artifact layout changes shape.
@@ -70,14 +71,17 @@ class ResultStore:
 
         Raises:
             FileNotFoundError: no artifact for that sweep.
-            ValueError: the artifact's schema version is newer than
-                this library understands.
+            StoreError: the artifact's schema version does not match
+                this library's — a stale payload must be regenerated,
+                not silently reinterpreted under the current layout.
         """
         payload = json.loads(self.path_for(sweep_name).read_text())
-        if payload.get("schema", 0) > SCHEMA_VERSION:
-            raise ValueError(
-                f"artifact {sweep_name!r} has schema {payload.get('schema')}, "
-                f"this library reads <= {SCHEMA_VERSION}"
+        found = payload.get("schema")
+        if found != SCHEMA_VERSION:
+            raise StoreError(
+                f"artifact {sweep_name!r} has schema {found!r}, "
+                f"this library reads schema {SCHEMA_VERSION}; regenerate it "
+                "with the current library instead of reusing stale results"
             )
         return payload
 

@@ -18,6 +18,7 @@ genuinely interleave with the fault schedule.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.common.errors import QuorumUnreachableError, TransactionAborted
 from repro.concurrency.serializability import ConflictGraph
@@ -190,6 +191,7 @@ def run_heavy_workload(
     episodes: int = 2,
     episode_length: float = 30.0,
     gap: float = 20.0,
+    probe: "Callable[[Cluster], None] | None" = None,
 ) -> WorkloadResult:
     """E18 (extension) — heavy traffic through repeated partition episodes.
 
@@ -200,6 +202,11 @@ def run_heavy_workload(
     correctness bar is unchanged — every committed history must be
     one-copy serializable and nothing may stay blocked after the final
     heal — measured here under real contention.
+
+    ``probe``, if given, is called with the finished :class:`Cluster`
+    just before the result is assembled — the benchmark harness uses it
+    to harvest network / WAL / scheduler counters without widening the
+    return type.
     """
     registry = RngRegistry(seed)
     rng = registry.stream("heavy-workload")
@@ -253,6 +260,8 @@ def run_heavy_workload(
         outcomes[txn] = outcome
     client_aborted = sum(1 for o in outcomes.values() if o == "client-aborted")
 
+    if probe is not None:
+        probe(cluster)
     history = cluster.committed_history()
     return WorkloadResult(
         protocol=protocol,

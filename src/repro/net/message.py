@@ -16,7 +16,7 @@ from typing import Any
 _msg_counter = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """An immutable message in flight.
 

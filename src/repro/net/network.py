@@ -18,6 +18,22 @@ Semantics (matching the paper's fault model):
   two-coordinator scenario of Example 3 arises.
 * Directed links can be lossy (probability ``p``), independently of
   partitions; ``p = 1`` models a severed link.
+
+Hot-path notes: connectivity used to be re-evaluated per message (two
+``PartitionView.component_of`` lookups at send time and two more at
+delivery time).  The randomized studies push 10^5+ messages per run, so
+the network now precomputes, per *connectivity epoch*, the reachable
+peer set of each source.  An epoch is bumped — and the cache busted —
+by every event that can change who may talk to whom or who is alive:
+``set_partition``, ``heal``, ``crash_site``, ``recover_site`` and
+``register``.  A message sent under epoch ``e`` to a then-live
+destination is delivered without re-checking connectivity as long as
+the epoch is still ``e`` on arrival (nothing can have changed); any
+epoch change in flight falls back to the full per-message re-check, so
+drop reasons (``partitioned-in-flight``, ``destination-down``) are
+bit-identical to the unoptimized path.  ``fanout_cache=False`` restores
+the legacy per-message evaluation — kept for A/B measurement by the
+``net_deliver_fanout`` bench case.
 """
 
 from __future__ import annotations
@@ -46,6 +62,7 @@ class Network:
         tracer: "Tracer",
         rng: "RngRegistry",
         delay_model: DelayModel | None = None,
+        fanout_cache: bool = True,
     ) -> None:
         self._scheduler = scheduler
         self._tracer = tracer
@@ -59,6 +76,15 @@ class Network:
         self.sent = 0
         self.delivered = 0
         self.dropped = 0
+        # connectivity-epoch cache (see module docstring): the epoch
+        # counts connectivity/liveness changes; _sendable maps a source
+        # to the frozenset of sites in its component under the current
+        # epoch; _labels memoizes per-mtype scheduler labels.
+        self._fanout_cache = fanout_cache
+        self._epoch = 0
+        self._sendable: dict[int, frozenset[int]] = {}
+        self._labels: dict[str, str] = {}
+        self._fast_path = fanout_cache
 
     # ------------------------------------------------------------------
     # registration and topology
@@ -70,6 +96,23 @@ class Network:
             raise ValueError(f"duplicate node id {node.node_id}")
         self._nodes[node.node_id] = node
         self._partition = PartitionView(self._nodes)
+        self._bump_epoch()
+
+    @property
+    def epoch(self) -> int:
+        """The connectivity epoch (bumps on partition/heal/crash/recover/register)."""
+        return self._epoch
+
+    def _bump_epoch(self) -> None:
+        """Invalidate the reachable-peer cache after a connectivity change."""
+        self._epoch += 1
+        self._sendable.clear()
+
+    def _refresh_fast_path(self) -> None:
+        """Fast sends are only legal with no filters and no lossy links."""
+        self._fast_path = (
+            self._fanout_cache and not self._filters and not self._link_loss
+        )
 
     @property
     def scheduler(self) -> "Scheduler":
@@ -143,17 +186,20 @@ class Network:
     def crash_site(self, site: int) -> None:
         """Crash a node: volatile state lost, timers cancelled."""
         self._nodes[site].crash()
+        self._bump_epoch()
         self._tracer.record(self._scheduler.now, site, "crash")
 
     def recover_site(self, site: int) -> None:
         """Recover a node from its durable state."""
         self._nodes[site].recover()
+        self._bump_epoch()
         self._tracer.record(self._scheduler.now, site, "recover")
         self._notify("recover")
 
     def set_partition(self, groups: Sequence[Sequence[int]]) -> None:
         """Split the network into the given disjoint components."""
         self._partition = PartitionView(self._nodes, groups)
+        self._bump_epoch()
         self._tracer.record(
             self._scheduler.now,
             GLOBAL_SITE,
@@ -166,6 +212,8 @@ class Network:
         """Restore full connectivity (and clear per-link loss)."""
         self._partition = self._partition.healed()
         self._link_loss.clear()
+        self._bump_epoch()
+        self._refresh_fast_path()
         self._tracer.record(self._scheduler.now, GLOBAL_SITE, "heal")
         self._notify("heal")
 
@@ -177,6 +225,7 @@ class Network:
             self._link_loss.pop((src, dst), None)
         else:
             self._link_loss[(src, dst)] = p
+        self._refresh_fast_path()
 
     def add_filter(self, pred: Callable[[Message], bool]) -> None:
         """Install a message filter; messages with ``pred(msg) == True`` drop.
@@ -186,10 +235,12 @@ class Network:
         blunt instrument for sweeps.
         """
         self._filters.append(pred)
+        self._refresh_fast_path()
 
     def clear_filters(self) -> None:
         """Remove all installed message filters."""
         self._filters.clear()
+        self._refresh_fast_path()
 
     # ------------------------------------------------------------------
     # transmission
@@ -205,18 +256,130 @@ class Network:
         partition changed while it was in flight.
         """
         self.sent += 1
-        self._tracer.record(self._scheduler.now, msg.src, "send", msg.txn, mtype=msg.mtype, dst=msg.dst)
+        src = msg.src
+        dst = msg.dst
+        sched = self._scheduler
+        self._tracer.record(sched.now, src, "send", msg.txn, mtype=msg.mtype, dst=dst)
+        if not self._fast_path:
+            self._send_slow(msg)
+            return
+        # Fast path: no filters, no lossy links.  Same checks in the
+        # same precedence order as _drop_reason_at_send, but against the
+        # per-epoch reachable-peer cache instead of per-message
+        # connectivity evaluation.
+        nodes = self._nodes
+        dst_node = nodes.get(dst)
+        if dst_node is None:
+            self._drop(msg, "unknown-destination")
+            return
+        src_node = nodes.get(src)
+        if src_node is not None and not src_node.alive:
+            self._drop(msg, "sender-down")
+            return
+        peers = self._sendable.get(src)
+        if peers is None:
+            # component_of raises on an unknown source, exactly like the
+            # legacy reachable() check did.
+            peers = self._partition.component_of(src)
+            self._sendable[src] = peers
+        if dst not in peers:
+            self._drop(msg, "partitioned")
+            return
+        if src == dst:
+            # local processing: no propagation delay, but still a separate
+            # scheduler event so handlers never re-enter each other.
+            delay = 0.0
+        else:
+            delay = self._delay_model.sample(self._rng, src, dst)
+        if dst_node.alive:
+            # destination is live and reachable now; as long as the
+            # epoch is unchanged on arrival nothing can have changed,
+            # so delivery skips the per-message re-checks.  Deliveries
+            # are never cancelled, so no EventHandle is needed.
+            sched.call_fixed(sched.now + delay, self._deliver_fast, dst_node, msg, self._epoch)
+        else:
+            # destined to drop as "destination-down" unless the target
+            # recovers in flight — keep the fully checked path.
+            sched.call_fixed(sched.now + delay, self._deliver, msg)
+
+    def fanout(
+        self,
+        src: int,
+        dsts: Iterable[int],
+        mtype: str,
+        txn: str = "",
+        payload: dict | None = None,
+    ) -> None:
+        """Send one message per destination, hoisting per-source work.
+
+        The fan-out primitive behind :meth:`Node.broadcast
+        <repro.net.node.Node.broadcast>` and :meth:`Node.multicast
+        <repro.net.node.Node.multicast>`: the protocol engines route
+        vote requests, PREPAREs, decisions and termination polls here.
+        Per-destination messages are distinct :class:`Message` objects
+        (delivery, tracing and drop bookkeeping are per message, exactly
+        as with :meth:`send`), but the sender-liveness check, the
+        reachable-peer set and the virtual clock are read once per
+        fan-out instead of once per destination.  The payload dict is
+        shared across the fan-out — messages are immutable by contract.
+
+        Falls back to per-message :meth:`send` whenever filters or lossy
+        links are active (or the cache is disabled), so the fault model
+        and RNG draw order are bit-identical to a manual send loop.
+        """
+        payload = payload if payload is not None else {}
+        if not self._fast_path:
+            for dst in dsts:
+                self.send(Message(src, dst, mtype, txn, payload))
+            return
+        nodes = self._nodes
+        tracer_record = self._tracer.record
+        sched = self._scheduler
+        drop = self._drop
+        src_node = nodes.get(src)
+        src_down = src_node is not None and not src_node.alive
+        peers = self._sendable.get(src)
+        sample = self._delay_model.sample
+        rng = self._rng
+        epoch = self._epoch
+        deliver_fast = self._deliver_fast
+        for dst in dsts:
+            self.sent += 1
+            now = sched.now
+            tracer_record(now, src, "send", txn, mtype=mtype, dst=dst)
+            msg = Message(src, dst, mtype, txn, payload)
+            dst_node = nodes.get(dst)
+            if dst_node is None:
+                drop(msg, "unknown-destination")
+                continue
+            if src_down:
+                drop(msg, "sender-down")
+                continue
+            if peers is None:
+                peers = self._sendable[src] = self._partition.component_of(src)
+            if dst not in peers:
+                drop(msg, "partitioned")
+                continue
+            delay = 0.0 if src == dst else sample(rng, src, dst)
+            if dst_node.alive:
+                sched.call_fixed(now + delay, deliver_fast, dst_node, msg, epoch)
+            else:
+                sched.call_fixed(now + delay, self._deliver, msg)
+
+    def _send_slow(self, msg: Message) -> None:
+        """The legacy send path: per-message fault evaluation."""
         reason = self._drop_reason_at_send(msg)
         if reason is not None:
             self._drop(msg, reason)
             return
         if msg.src == msg.dst:
-            # local processing: no propagation delay, but still a separate
-            # scheduler event so handlers never re-enter each other.
             delay = 0.0
         else:
             delay = self._delay_model.sample(self._rng, msg.src, msg.dst)
-        self._scheduler.call_after(delay, self._deliver, msg, label=f"deliver:{msg.mtype}")
+        label = self._labels.get(msg.mtype)
+        if label is None:
+            label = self._labels[msg.mtype] = f"deliver:{msg.mtype}"
+        self._scheduler.call_after(delay, self._deliver, msg, label=label)
 
     def _drop_reason_at_send(self, msg: Message) -> str | None:
         if msg.dst not in self._nodes:
@@ -232,6 +395,24 @@ class Network:
         if not self._partition.reachable(msg.src, msg.dst):
             return "partitioned"
         return None
+
+    def _deliver_fast(self, node: "Node", msg: Message, epoch: int) -> None:
+        """Deliver a message whose connectivity was proven at send time.
+
+        Valid only while the connectivity epoch is unchanged (no
+        partition / heal / crash / recover since the send-time check);
+        otherwise — or if the destination died through a side door that
+        bypassed :meth:`crash_site` — fall back to the fully checked
+        delivery so drop reasons stay exact.
+        """
+        if epoch != self._epoch or not node.alive:
+            self._deliver(msg)
+            return
+        self.delivered += 1
+        self._tracer.record(
+            self._scheduler.now, msg.dst, "deliver", msg.txn, mtype=msg.mtype, src=msg.src
+        )
+        node.deliver(msg)
 
     def _deliver(self, msg: Message) -> None:
         node = self._nodes[msg.dst]

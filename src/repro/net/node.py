@@ -17,7 +17,7 @@ Crash semantics follow the paper's model:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.common.errors import SiteDownError
 from repro.net.message import Message
@@ -81,10 +81,36 @@ class Node:
         self.network.send(Message(self.node_id, dst, mtype, txn, payload))
 
     def broadcast(self, dsts: list[int], mtype: str, txn: str = "", **payload: Any) -> None:
-        """Send the same message to every destination (excluding self)."""
-        for dst in dsts:
-            if dst != self.node_id:
-                self.send(dst, mtype, txn, **payload)
+        """Send the same message to every destination (excluding self).
+
+        Routed through :meth:`Network.fanout
+        <repro.net.network.Network.fanout>`, which hoists the per-source
+        connectivity work out of the per-destination loop.
+        """
+        if not self.alive:
+            raise SiteDownError(f"site {self.node_id} is down")
+        self.network.fanout(
+            self.node_id,
+            [dst for dst in dsts if dst != self.node_id],
+            mtype,
+            txn,
+            payload,
+        )
+
+    def multicast(self, dsts: Iterable[int], mtype: str, txn: str = "", **payload: Any) -> None:
+        """Send the same message to every destination, self included.
+
+        The protocol engines' fan-out primitive (vote requests, PREPARE,
+        decisions, termination polls): a coordinator is usually also a
+        participant and must deliver its own copy as a local message.
+        Same :meth:`Network.fanout <repro.net.network.Network.fanout>`
+        hot path as :meth:`broadcast`; the payload dict is shared across
+        the fan-out, which is safe because messages are immutable by
+        contract.
+        """
+        if not self.alive:
+            raise SiteDownError(f"site {self.node_id} is down")
+        self.network.fanout(self.node_id, dsts, mtype, txn, payload)
 
     def set_timer(self, delay: float, fn: Callable[..., None], *args: Any, label: str = "") -> "EventHandle":
         """Schedule a callback that is cancelled if this site crashes first."""

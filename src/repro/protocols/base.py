@@ -359,15 +359,14 @@ class CommitProtocolEngine(ElectionMixin, ABC):
             coordinator=self.site,
         )
         self.node.trace("coord-begin", txn, participants=participants, items=sorted(writes))
-        for site in participants:
-            self.node.send(
-                site,
-                self._m("vote-req"),
-                txn,
-                writes={k: list(v) for k, v in writes.items()},
-                participants=participants,
-                coordinator=self.site,
-            )
+        self.node.multicast(
+            participants,
+            self._m("vote-req"),
+            txn,
+            writes={k: list(v) for k, v in writes.items()},
+            participants=participants,
+            coordinator=self.site,
+        )
         self.node.set_timer(
             2 * self._T + self._eps, self._vote_window_closed, txn, label="vote-window"
         )
@@ -398,8 +397,7 @@ class CommitProtocolEngine(ElectionMixin, ABC):
 
     def _send_prepare(self, round_: _CoordinationRound, window_factor: float = 2.0) -> None:
         """Broadcast PREPARE(-TO-COMMIT) and open the ack window."""
-        for site in round_.participants:
-            self.node.send(site, self._m("prepare"), round_.txn)
+        self.node.multicast(round_.participants, self._m("prepare"), round_.txn)
         self.node.set_timer(
             window_factor * self._T + self._eps,
             self._ack_window_closed,
@@ -433,8 +431,7 @@ class CommitProtocolEngine(ElectionMixin, ABC):
         round_.phase = "done"
         self.wal.force(round_.txn, outcome, role="coordinator")
         self.node.trace("coord-decision", round_.txn, outcome=outcome)
-        for site in round_.participants:
-            self.node.send(site, self._m(outcome), round_.txn)
+        self.node.multicast(round_.participants, self._m(outcome), round_.txn)
 
     # ==========================================================================
     # participant side: the Fig. 6 state machine
@@ -548,16 +545,15 @@ class CommitProtocolEngine(ElectionMixin, ABC):
         self.node.trace(
             "term-phase1", txn, attempt=record.term_attempt, polled=reachable
         )
-        for site in reachable:
-            self.node.send(
-                site,
-                self._m("t.state-req"),
-                txn,
-                attempt=record.term_attempt,
-                coordinator=self.site,
-                writes={k: list(v) for k, v in record.writes.items()},
-                participants=record.participants,
-            )
+        self.node.multicast(
+            reachable,
+            self._m("t.state-req"),
+            txn,
+            attempt=record.term_attempt,
+            coordinator=self.site,
+            writes={k: list(v) for k, v in record.writes.items()},
+            participants=record.participants,
+        )
         record.set_timer(
             self.node,
             2 * self._T + self._eps,
@@ -645,10 +641,7 @@ class CommitProtocolEngine(ElectionMixin, ABC):
         self, record: TxnRecord, mtype: str, states: Mapping[int, TxnState]
     ) -> None:
         wait_sites = [s for s, st in states.items() if st is TxnState.W]
-        for site in wait_sites:
-            self.node.send(
-                site, self._m(mtype), record.txn, attempt=record.term_attempt
-            )
+        self.node.multicast(wait_sites, self._m(mtype), record.txn, attempt=record.term_attempt)
         record.set_timer(
             self.node,
             2 * self._T + self._eps,
@@ -744,8 +737,7 @@ class CommitProtocolEngine(ElectionMixin, ABC):
         """Send the final command to every reachable participant."""
         reachable = self.node.network.reachable_from(self.site, record.participants)
         self.node.trace("term-decision", record.txn, outcome=outcome, informed=reachable)
-        for site in reachable:
-            self.node.send(site, self._m(outcome), record.txn)
+        self.node.multicast(reachable, self._m(outcome), record.txn)
         record.terminating = False
 
     def _term_block(self, record: TxnRecord) -> None:
@@ -756,9 +748,7 @@ class CommitProtocolEngine(ElectionMixin, ABC):
         record.cancel_timer("elect-defer-watchdog")
         self.node.trace("blocked", record.txn, reason="no-quorum")
         reachable = self.node.network.reachable_from(self.site, record.participants)
-        for site in reachable:
-            if site != self.site:
-                self.node.send(site, self._m("t.blocked"), record.txn)
+        self.node.broadcast(reachable, self._m("t.blocked"), record.txn)
 
     def _on_term_blocked(self, msg: Message) -> None:
         record = self._records.get(msg.txn)
@@ -839,8 +829,7 @@ class CommitProtocolEngine(ElectionMixin, ABC):
                 # the decision may not have reached everyone; re-announce
                 # (participants absorb duplicates idempotently)
                 self.node.trace("coord-recovery", begin.txn, rebroadcast=decision)
-                for site in participants:
-                    self.node.send(site, self._m(decision), begin.txn)
+                self.node.multicast(participants, self._m(decision), begin.txn)
             else:
                 self._recover_undecided_coordinator(
                     begin.txn,

@@ -73,5 +73,4 @@ class TwoPCEngine(CommitProtocolEngine):
         """
         self.wal.force(txn, "abort", role="coordinator")
         self.node.trace("coord-recovery", txn, rebroadcast="abort", presumed=True)
-        for site in participants:
-            self.node.send(site, self._m("abort"), txn)
+        self.node.multicast(participants, self._m("abort"), txn)

@@ -16,7 +16,11 @@ the randomized studies run hundreds of thousands of events per sweep.
 Heap entries are therefore plain ``(time, seq, handle)`` tuples — tuple
 comparison is C-level and ``seq`` is unique, so handles are never
 compared — and :attr:`Scheduler.pending` is a live counter maintained
-on push / cancel / fire rather than an O(n) queue scan.
+on push / cancel / fire rather than an O(n) queue scan.  Events that
+can never be cancelled (message deliveries, which make up nearly all
+events in protocol runs) can skip the :class:`EventHandle` allocation
+entirely via :meth:`Scheduler.call_fixed`, which stores a bare
+``(fn, args)`` tuple in the heap entry instead.
 """
 
 from __future__ import annotations
@@ -143,6 +147,20 @@ class Scheduler:
             raise ValueError(f"negative delay {delay}")
         return self.call_at(self._now + delay, fn, *args, label=label)
 
+    def call_fixed(self, time: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule a *non-cancellable* event at absolute time ``time``.
+
+        The hot-path sibling of :meth:`call_at`: no :class:`EventHandle`
+        is allocated, the heap entry carries a bare ``(fn, args)`` tuple.
+        Used by the network for message deliveries, which are never
+        cancelled (a crash drops the message at delivery time instead).
+        """
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} < now {self._now}")
+        self._seq += 1
+        self._pending += 1
+        heapq.heappush(self._queue, (time, self._seq, (fn, args)))
+
     def step(self) -> bool:
         """Run the single next pending event.
 
@@ -152,6 +170,18 @@ class Scheduler:
         queue = self._queue
         while queue:
             time, _seq, handle = heapq.heappop(queue)
+            if type(handle) is tuple:
+                # call_fixed entry: not cancellable, no flags to update.
+                self._now = time
+                self._pending -= 1
+                self._events_run += 1
+                if self._events_run > self._max_events:
+                    raise RuntimeError(
+                        f"simulation exceeded {self._max_events} events; "
+                        "likely a livelock (retry loop without progress)"
+                    )
+                handle[0](*handle[1])
+                return True
             if handle.cancelled:
                 # counter already decremented at cancel()
                 continue
@@ -183,7 +213,7 @@ class Scheduler:
         """
         while self._queue:
             time, _seq, handle = self._queue[0]
-            if handle.cancelled:
+            if type(handle) is not tuple and handle.cancelled:
                 heapq.heappop(self._queue)
                 continue
             if time > deadline:

@@ -207,7 +207,7 @@ class TestMultiTransactionIndependence:
         t1 = cluster.update(origin=1, writes={"x": 1})
         cluster.run_until(0.5)
         # t2 conflicts on locks and will vote no -> abort; t1 commits
-        t2 = cluster.update(origin=2, writes={"x": 2}, txn_id="T-late")
+        cluster.update(origin=2, writes={"x": 2}, txn_id="T-late")
         cluster.run()
         assert cluster.outcome(t1.txn).atomic
         assert cluster.outcome("T-late").atomic

@@ -1,0 +1,72 @@
+"""Bench-suite determinism properties.
+
+``bench diff`` is only a trustworthy gate if the suite is a *fixed
+point*: running the same cases twice with the same seeds — or at any
+worker count — must yield byte-identical deterministic payloads, so the
+only way a committed ``BENCH_*.json`` can disagree with a fresh run is
+a genuine behaviour change.  The hypothesis case extends the guarantee
+across seeds for the A/B microbenches, whose legacy and optimized arms
+must also agree with *each other* on every counter.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bench import compare_case, default_suite, deterministic_payload, encode
+from repro.bench.cases import net_fanout_trial, wal_append_trial
+
+#: cases cheap enough to run repeatedly inside tier-1.
+QUICK_CASES = ["scheduler_drain", "commit_mix", "net_deliver_fanout", "wal_append"]
+
+
+def _payload_bytes(suite, name, workers=1):
+    payload = suite.run_case(name, workers=workers, measure_time=False)
+    return encode(deterministic_payload(payload))
+
+
+class TestFixedPoint:
+    def test_two_runs_byte_identical(self):
+        suite = default_suite("quick")
+        for name in QUICK_CASES:
+            first = _payload_bytes(suite, name)
+            second = _payload_bytes(suite, name)
+            assert first == second, f"case {name} is not a fixed point"
+
+    def test_diff_of_two_runs_is_clean(self):
+        suite = default_suite("quick")
+        for name in QUICK_CASES:
+            baseline = suite.run_case(name, measure_time=False)
+            fresh = suite.run_case(name, measure_time=False)
+            verdict = compare_case(baseline, fresh)
+            assert verdict.ok, f"{name}: {verdict.errors}"
+
+    def test_serial_vs_parallel_byte_identical(self):
+        suite = default_suite("quick")
+        for name in QUICK_CASES:
+            serial = _payload_bytes(suite, name, workers=1)
+            parallel = _payload_bytes(suite, name, workers=2)
+            assert serial == parallel, f"case {name} differs across worker counts"
+
+
+class TestABCountersAgree:
+    """The optimized hot paths must change time only, never behaviour."""
+
+    @given(st.integers(0, 2**20))
+    @settings(max_examples=10, deadline=None)
+    def test_fanout_counters_identical_across_modes(self, seed):
+        legacy = net_fanout_trial(seed, cached=False, n_sites=9, rounds=2)
+        cached = net_fanout_trial(seed, cached=True, n_sites=9, rounds=2)
+        assert legacy["counters"] == cached["counters"]
+
+    @given(st.integers(0, 2**20))
+    @settings(max_examples=5, deadline=None)
+    def test_wal_replay_counters_identical_except_flushes(self, seed):
+        legacy = wal_append_trial(seed, grouped=False, n_txns=12, n_sites=5, replays=1)
+        grouped = wal_append_trial(seed, grouped=True, n_txns=12, n_sites=5, replays=1)
+
+        def sans_flushes(counters):
+            return {k: v for k, v in counters.items() if k != "flushes"}
+
+        assert sans_flushes(legacy["counters"]) == sans_flushes(grouped["counters"])
+        # group commit batches flushes; legacy charges one per record
+        assert grouped["counters"]["flushes"] <= legacy["counters"]["flushes"]
+        assert legacy["counters"]["flushes"] == legacy["counters"]["forced"]

@@ -1,0 +1,177 @@
+"""Unit tests for the bench suite registry, baselines and differ."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    BaselineStore,
+    BenchCase,
+    BenchError,
+    BenchSuite,
+    compare_case,
+    default_suite,
+    deterministic_payload,
+    encode,
+)
+from repro.common.errors import StoreError
+from repro.engine.spec import SweepSpec
+
+
+def counting_task(seed: int, scale: int = 1) -> dict:
+    """Deterministic toy task obeying the bench contract."""
+    return {
+        "counters": {"value": (seed % 97) * scale, "scale": scale},
+        "timing": {"wall_s": 0.001},
+    }
+
+
+def bad_task(seed: int) -> int:
+    """Violates the contract: no counters dict."""
+    return seed
+
+
+def tiny_case(name="toy", runs=2, task=counting_task, grid=None):
+    if grid is None:
+        grid = {"scale": [1, 3]}
+    return BenchCase(
+        name=name,
+        spec=SweepSpec(name=f"bench-{name}", task=task, grid=grid, runs=runs),
+        repeats=2,
+    )
+
+
+class TestSuite:
+    def test_run_case_payload_shape(self):
+        suite = BenchSuite([tiny_case()])
+        payload = suite.run_case("toy")
+        assert payload["schema"] == SCHEMA_VERSION
+        assert payload["case"] == "toy"
+        assert len(payload["rows"]) == 4  # 2 cells x 2 runs
+        assert all("counters" in row for row in payload["rows"])
+        wall = payload["timing"]["wall_s"]
+        assert wall["n"] == 2 and wall["low"] <= wall["mean"] <= wall["high"]
+
+    def test_measure_time_false_strips_timing(self):
+        suite = BenchSuite([tiny_case()])
+        payload = suite.run_case("toy", measure_time=False)
+        assert "timing" not in payload
+        assert deterministic_payload(payload) == payload
+
+    def test_bad_task_contract_raises(self):
+        suite = BenchSuite([tiny_case(task=bad_task, grid={})])
+        with pytest.raises(BenchError, match="must return"):
+            suite.run_case("toy")
+
+    def test_duplicate_and_unknown_names_rejected(self):
+        suite = BenchSuite([tiny_case()])
+        with pytest.raises(ValueError, match="duplicate"):
+            suite.add(tiny_case())
+        with pytest.raises(KeyError, match="unknown bench case"):
+            suite.case("nope")
+
+    def test_unsafe_case_name_rejected(self):
+        with pytest.raises(ValueError, match="unsafe"):
+            tiny_case(name="../evil")
+
+    def test_default_suite_registers_expected_cases(self):
+        suite = default_suite("quick")
+        assert suite.names == [
+            "scheduler_drain",
+            "commit_mix",
+            "heavy_workload",
+            "wan_storm",
+            "net_deliver_fanout",
+            "wal_append",
+        ]
+        with pytest.raises(ValueError, match="unknown scale"):
+            default_suite("huge")
+
+
+class TestBaselineStore:
+    def test_roundtrip(self, tmp_path):
+        suite = BenchSuite([tiny_case()])
+        store = BaselineStore(tmp_path)
+        payload = suite.run_case("toy")
+        path = store.save(payload)
+        assert path.name == "BENCH_toy.json"
+        assert store.load("toy") == json.loads(encode(payload))
+        assert store.known_cases() == ["toy"]
+
+    def test_schema_mismatch_raises_store_error(self, tmp_path):
+        store = BaselineStore(tmp_path)
+        store.save({"case": "toy", "schema": SCHEMA_VERSION, "rows": []})
+        raw = store.path_for("toy").read_text().replace(str(SCHEMA_VERSION), "99")
+        store.path_for("toy").write_text(raw)
+        with pytest.raises(StoreError, match="schema 99"):
+            store.load("toy")
+
+    def test_missing_baseline_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            BaselineStore(tmp_path).load("toy")
+
+
+class TestCompare:
+    def _payload(self, **overrides):
+        suite = BenchSuite([tiny_case()])
+        payload = suite.run_case("toy")
+        payload.update(overrides)
+        return payload
+
+    def test_identical_payloads_clean(self):
+        base = self._payload()
+        fresh = json.loads(encode(base))
+        verdict = compare_case(base, fresh)
+        assert verdict.ok and not verdict.warnings
+
+    def test_counter_drift_is_a_hard_error(self):
+        base = self._payload()
+        fresh = json.loads(encode(base))
+        fresh["rows"][1]["counters"]["value"] += 7
+        verdict = compare_case(base, fresh)
+        assert not verdict.ok
+        assert any("drifted" in e and "'value'" in e for e in verdict.errors)
+
+    def test_row_count_change_is_a_hard_error(self):
+        base = self._payload()
+        fresh = json.loads(encode(base))
+        fresh["rows"].pop()
+        verdict = compare_case(base, fresh)
+        assert any("row count changed" in e for e in verdict.errors)
+
+    def test_spec_change_is_a_hard_error(self):
+        base = self._payload()
+        fresh = json.loads(encode(base))
+        fresh["spec"]["runs"] = 99
+        verdict = compare_case(base, fresh)
+        assert any("spec changed" in e for e in verdict.errors)
+
+    def test_schema_change_is_a_hard_error(self):
+        base = self._payload()
+        fresh = json.loads(encode(base))
+        fresh["schema"] = SCHEMA_VERSION + 1
+        verdict = compare_case(base, fresh)
+        assert any("schema mismatch" in e for e in verdict.errors)
+
+    def test_wall_time_noise_within_tolerance_is_silent(self):
+        base = self._payload()
+        fresh = json.loads(encode(base))
+        fresh["timing"]["wall_s"]["mean"] = base["timing"]["wall_s"]["mean"] * 2.0
+        verdict = compare_case(base, fresh, time_tolerance=5.0)
+        assert verdict.ok and not verdict.warnings
+
+    def test_wall_time_blowup_warns_but_does_not_fail(self):
+        base = self._payload()
+        fresh = json.loads(encode(base))
+        fresh["timing"]["wall_s"]["mean"] = base["timing"]["wall_s"]["mean"] * 50.0
+        verdict = compare_case(base, fresh, time_tolerance=5.0)
+        assert verdict.ok
+        assert any("wall time" in w for w in verdict.warnings)
+
+    def test_speedup_surfaces_from_derived_timing(self):
+        base = self._payload()
+        fresh = json.loads(encode(base))
+        fresh["timing"]["derived"] = {"speedup": 1.8}
+        verdict = compare_case(base, fresh)
+        assert verdict.speedup == 1.8

@@ -4,6 +4,7 @@ from dataclasses import dataclass
 
 import pytest
 
+from repro.common.errors import StoreError
 from repro.engine import (
     SCHEMA_VERSION,
     ResultStore,
@@ -73,8 +74,28 @@ class TestResultStore:
         store.save(self._outcome())
         path = store.path_for("demo")
         path.write_text(path.read_text().replace(f'"schema": {SCHEMA_VERSION}', '"schema": 99'))
-        with pytest.raises(ValueError, match="schema 99"):
+        with pytest.raises(StoreError, match="schema 99"):
             store.load("demo")
+
+    def test_older_schema_rejected_not_reinterpreted(self, tmp_path):
+        """A stale artifact must raise, never be handed back unguarded."""
+        store = ResultStore(tmp_path)
+        store.save(self._outcome())
+        path = store.path_for("demo")
+        path.write_text(path.read_text().replace(f'"schema": {SCHEMA_VERSION}', '"schema": 0'))
+        with pytest.raises(StoreError, match="schema 0"):
+            store.load("demo")
+
+    def test_schemaless_payload_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.path_for("demo").parent.mkdir(parents=True, exist_ok=True)
+        store.path_for("demo").write_text('{"sweep": "demo", "results": []}')
+        with pytest.raises(StoreError, match="schema None"):
+            store.load("demo")
+
+    def test_store_error_is_still_a_value_error(self, tmp_path):
+        """Callers that predate StoreError catch ValueError; keep them working."""
+        assert issubclass(StoreError, ValueError)
 
     def test_missing_artifact_raises(self, tmp_path):
         with pytest.raises(FileNotFoundError):

@@ -65,8 +65,6 @@ class TestGroupedDelayInCluster:
         from repro import CatalogBuilder, Cluster
 
         groups = {1: 0, 2: 0, 3: 0, 4: 1, 5: 1, 6: 1}
-        model = GroupedDelay(groups, intra=0.1, inter=1.0)
-
         local = CatalogBuilder().replicated_item("x", sites=[1, 2, 3], r=2, w=2).build()
         spread = CatalogBuilder().replicated_item("x", sites=[1, 4, 5], r=2, w=2).build()
 

@@ -59,7 +59,7 @@ class TestChart:
 
     def test_txn_filter(self):
         cluster, txn = self._run()
-        other = cluster.update(origin=2, writes={"x": 2})
+        cluster.update(origin=2, writes={"x": 2})
         cluster.run()
         chart = message_sequence_chart(cluster.tracer, txn.txn)
         # the second transaction's decision lines are excluded
@@ -73,7 +73,7 @@ class TestChart:
         cluster.run()
         chart = message_sequence_chart(cluster.tracer, txn.txn)
         # each lost vote-req appears once (the annotated line), not twice
-        lost_lines = [l for l in chart.splitlines() if "vote-req" in l and "> 2" in l]
+        lost_lines = [ln for ln in chart.splitlines() if "vote-req" in ln and "> 2" in ln]
         assert len(lost_lines) == 1
         assert "✗" in lost_lines[0]
 

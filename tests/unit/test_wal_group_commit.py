@@ -1,0 +1,116 @@
+"""Unit tests for the WAL group-commit buffer and per-txn indexes.
+
+Group-commit mode must be a pure performance change: every query
+(``decision``, ``for_txn``, ``open_txns``, ``last_protocol_record``)
+answers exactly as the legacy scanning implementation does, and the
+irrevocability guard still fires.  Only the flush accounting differs —
+a decision record closes a batch, so flushes <= forced.
+"""
+
+import random
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.storage.wal import WriteAheadLog
+
+
+def random_sequence(seed, n_txns=12, n_ops=120):
+    """A WAL-legal force sequence: begin before anything, one decision."""
+    rng = random.Random(seed)
+    ops = []
+    live = []
+    decided = set()
+    for i in range(n_txns):
+        ops.append((f"T{i}", "begin"))
+        live.append(f"T{i}")
+    for _ in range(n_ops):
+        txn = rng.choice(live)
+        if txn in decided:
+            kind = rng.choice(["apply"])  # post-decision applies are legal
+        else:
+            kind = rng.choice(["vote", "pc", "pa", "apply", "commit", "abort"])
+            if kind in ("commit", "abort"):
+                decided.add(txn)
+        ops.append((txn, kind))
+    return ops
+
+
+def replay(ops, group_commit):
+    wal = WriteAheadLog(7, group_commit=group_commit)
+    for txn, kind in ops:
+        wal.force(txn, kind)
+    return wal
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_queries_match_legacy(self, seed):
+        ops = random_sequence(seed)
+        legacy = replay(ops, group_commit=False)
+        grouped = replay(ops, group_commit=True)
+        assert [str(r) for r in legacy] == [str(r) for r in grouped]
+        assert legacy.open_txns() == grouped.open_txns()
+        txns = {txn for txn, _ in ops}
+        for txn in sorted(txns) + ["T-missing"]:
+            assert legacy.decision(txn) == grouped.decision(txn)
+            assert legacy.for_txn(txn) == grouped.for_txn(txn)
+            assert legacy.last_protocol_record(txn) == grouped.last_protocol_record(txn)
+
+    def test_conflicting_decision_rejected_in_both_modes(self):
+        for mode in (False, True):
+            wal = WriteAheadLog(1, group_commit=mode)
+            wal.force("T1", "begin")
+            wal.force("T1", "commit")
+            with pytest.raises(StorageError, match="already logged commit"):
+                wal.force("T1", "abort")
+            wal.force("T1", "commit")  # same decision again is legal
+
+    def test_unknown_kind_rejected(self):
+        wal = WriteAheadLog(1)
+        with pytest.raises(StorageError, match="unknown log record kind"):
+            wal.force("T1", "checkpoint")
+
+
+class TestGroupCommitAccounting:
+    def test_protocol_answer_records_close_the_batch(self):
+        """vote/pc/pa/commit/abort must be durable before the site
+        replies, so each closes the open batch; begin and apply ride."""
+        wal = WriteAheadLog(1)
+        wal.force("T1", "begin")
+        assert wal.flushes == 0  # begin rides the batch
+        wal.force("T1", "vote", vote="yes")
+        assert wal.flushes == 1  # vote answers the coordinator: flush
+        wal.force("T1", "pc")
+        assert wal.flushes == 2  # ack-gating record: flush
+        wal.force("T1", "apply", item="x", value=1, version=1)
+        wal.force("T1", "apply", item="y", value=2, version=1)
+        assert wal.flushes == 2  # applies ride
+        wal.force("T1", "commit")
+        assert wal.flushes == 3  # decision closes the applies' batch
+        assert wal.forced == 6
+
+    def test_explicit_flush_and_noop(self):
+        wal = WriteAheadLog(1)
+        assert wal.flush() == 0
+        assert wal.flushes == 0
+        wal.force("T1", "begin")
+        assert wal.flush() == 1
+        assert wal.flushes == 1
+        assert wal.flush() == 0
+        assert wal.flushes == 1
+
+    def test_legacy_mode_charges_one_flush_per_force(self):
+        wal = WriteAheadLog(1, group_commit=False)
+        wal.force("T1", "begin")
+        wal.force("T1", "vote")
+        wal.force("T1", "commit")
+        assert wal.flushes == wal.forced == 3
+
+    def test_grouped_flushes_never_exceed_forced(self):
+        ops = random_sequence(3)
+        grouped = replay(ops, group_commit=True)
+        grouped.flush()
+        assert 0 < grouped.flushes <= grouped.forced
+        # with multi-record transactions, batching must actually batch
+        assert grouped.flushes < grouped.forced
