@@ -53,10 +53,11 @@ def termination_timeline(tracer: Tracer, txn: str) -> TerminationTimeline:
     """Extract the liveness timeline of one transaction from a trace."""
     begins = tracer.where(category="coord-begin", txn=txn)
     begin_time = begins[0].time if begins else 0.0
+    # two indexed category lookups instead of one full-trace scan
     faults = [
         r.time
-        for r in tracer.records
-        if r.category in ("crash", "partition")
+        for category in ("crash", "partition")
+        for r in tracer.where(category=category)
     ]
     first_fault = min(faults) if faults else math.nan
     decisions = tracer.where(category="decision", txn=txn)

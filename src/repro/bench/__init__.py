@@ -9,8 +9,9 @@ driven through the PR 1 sweep engine:
   per worker count, compared *exactly* by ``bench diff``;
 * **wall-clock timing** with a :func:`~repro.experiments.stats.mean_ci`
   interval — machine noise, compared only within a configurable ratio;
-* for the A/B microbenches (``net_deliver_fanout``, ``wal_append``),
-  the **legacy-vs-optimized speedup** that motivated the optimized hot
+* for the A/B microbenches (``net_deliver_fanout``, ``wal_append``,
+  ``trace_record``, ``partition_churn``, ``suite_warm_pool``), the
+  **legacy-vs-optimized speedup** that motivated the optimized hot
   path, so the win is pinned in-tree and regressions are visible in
   review.
 
@@ -29,6 +30,7 @@ from repro.bench.diff import (
     CaseDiff,
     compare_case,
     diff_against_baselines,
+    markdown_summary,
 )
 from repro.bench.suite import (
     BASELINE_PREFIX,
@@ -55,4 +57,5 @@ __all__ = [
     "deterministic_payload",
     "diff_against_baselines",
     "encode",
+    "markdown_summary",
 ]

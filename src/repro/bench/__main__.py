@@ -22,8 +22,10 @@ from repro.bench.diff import (
     DEFAULT_TIME_TOLERANCE,
     diff_against_baselines,
     diff_stored_payloads,
+    markdown_summary,
 )
 from repro.bench.suite import BaselineStore, BenchSuite
+from repro.engine.executor import SweepRunner
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -47,6 +49,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default="full",
         help="workload scale (quick is for smoke runs; committed baselines "
         "are always full scale)",
+    )
+    parser.add_argument(
+        "--persistent-pool",
+        action="store_true",
+        help="run every case's sweeps on one warm worker pool instead of a "
+        "pool per sweep (needs --workers > 1; counters are identical "
+        "either way)",
     )
 
 
@@ -96,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="escalate wall-time warnings to failures under --check",
     )
+    diff.add_argument(
+        "--summary",
+        metavar="FILE",
+        help="append a markdown before/after table to FILE (CI passes "
+        "$GITHUB_STEP_SUMMARY)",
+    )
 
     update = sub.add_parser("update", help="rewrite the committed baselines")
     _add_common(update)
@@ -113,9 +128,22 @@ def _cmd_list(suite: BenchSuite) -> int:
     return 0
 
 
+def _runner_for(args: argparse.Namespace) -> SweepRunner | None:
+    """A persistent warm pool when ``--persistent-pool`` asks for one."""
+    if getattr(args, "persistent_pool", False) and args.workers > 1:
+        return SweepRunner(workers=args.workers)
+    return None
+
+
 def _cmd_run(suite: BenchSuite, args: argparse.Namespace) -> int:
     store = BaselineStore(args.out)
-    for name, payload in suite.run(args.cases, workers=args.workers).items():
+    runner = _runner_for(args)
+    try:
+        payloads = suite.run(args.cases, workers=args.workers, runner=runner)
+    finally:
+        if runner is not None:
+            runner.close()
+    for name, payload in payloads.items():
         path = store.save(payload)
         print(f"{name}: wrote {path} ({_timing_note(payload)})")
     return 0
@@ -130,13 +158,22 @@ def _cmd_diff(suite: BenchSuite, args: argparse.Namespace) -> int:
             time_tolerance=args.time_tolerance,
         )
     else:
-        results = diff_against_baselines(
-            suite,
-            BaselineStore(args.root),
-            names=args.cases,
-            workers=args.workers,
-            time_tolerance=args.time_tolerance,
-        )
+        runner = _runner_for(args)
+        try:
+            results = diff_against_baselines(
+                suite,
+                BaselineStore(args.root),
+                names=args.cases,
+                workers=args.workers,
+                time_tolerance=args.time_tolerance,
+                runner=runner,
+            )
+        finally:
+            if runner is not None:
+                runner.close()
+    if args.summary:
+        with open(args.summary, "a") as fh:
+            fh.write(markdown_summary(results))
     counter_drift = False
     time_failures = False
     for result in results:
@@ -163,7 +200,13 @@ def _cmd_diff(suite: BenchSuite, args: argparse.Namespace) -> int:
 
 def _cmd_update(suite: BenchSuite, args: argparse.Namespace) -> int:
     store = BaselineStore(args.root)
-    for name, payload in suite.run(args.cases, workers=args.workers).items():
+    runner = _runner_for(args)
+    try:
+        payloads = suite.run(args.cases, workers=args.workers, runner=runner)
+    finally:
+        if runner is not None:
+            runner.close()
+    for name, payload in payloads.items():
         path = store.save(payload)
         print(f"{name}: baselined {path} ({_timing_note(payload)})")
     print("commit the rewritten BENCH_*.json files with your change.")

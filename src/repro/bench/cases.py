@@ -22,6 +22,13 @@ Representative workloads covered:
   per-site ``force`` sequences harvested from ``run_heavy_workload``,
   replayed against the legacy scan-per-decision log and the
   group-commit/indexed log.
+* ``trace_record`` — A/B microbench of the trace recorder: the legacy
+  list-of-dataclasses store vs the columnar/slotted store with lazy
+  materialization and indexed queries.
+* ``partition_churn`` — A/B microbench of storm-heavy partition plans:
+  per-event ``PartitionView`` reconstruction vs interned views.
+* ``suite_warm_pool`` — A/B microbench of the sweep executor: a pool
+  per sweep vs one persistent warm pool across a campaign of sweeps.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ from typing import Any
 from repro.bench.suite import BenchCase, BenchSuite
 from repro.common.errors import QuorumUnreachableError, TransactionAborted
 from repro.db.cluster import Cluster
+from repro.engine.executor import SweepRunner, run_sweep, worker_cache
 from repro.engine.spec import SweepSpec
 from repro.net.network import Network
 from repro.net.node import Node
@@ -327,6 +335,248 @@ def wal_append_trial(
 
 
 # ----------------------------------------------------------------------
+# trace recorder microbench
+# ----------------------------------------------------------------------
+
+#: message types the synthetic trace mix draws from (protocol-shaped).
+_TRACE_MTYPES = (
+    "qtp1.vote-req",
+    "qtp1.vote",
+    "qtp1.prepare",
+    "qtp1.ack",
+    "qtp1.decision",
+    "term.state-req",
+    "term.state",
+)
+
+
+def trace_record_trial(
+    seed: int,
+    columnar: bool,
+    n_events: int = 40_000,
+    n_sites: int = 24,
+    n_txns: int = 48,
+    queries: int = 120,
+) -> dict[str, Any]:
+    """Record a protocol-shaped event mix, then run the analysis queries.
+
+    The ``columnar`` grid axis selects the legacy list-of-frozen-
+    dataclasses store (``False``) or the columnar/slotted store
+    (``True``).  The mix mirrors a commit run — mostly sends and
+    delivers with txn ids, a tail of state transitions, decisions and
+    quorum checks — and the query phase asks what the analysis layer
+    asks (``where`` by category+site, ``count``, per-txn ``decisions``,
+    ``message_counts``).  Counters must be identical on both sides;
+    only the wall time may differ.
+    """
+    rng = RngRegistry(seed).stream("trace-bench")
+    tracer = Tracer(columnar=columnar)
+    n_mtypes = len(_TRACE_MTYPES)
+    t0 = time.perf_counter()
+    t = 0.0
+    for _ in range(n_events):
+        t += 0.25
+        kind = rng.randrange(100)
+        site = rng.randrange(n_sites)
+        txn = f"T{rng.randrange(n_txns)}"
+        if kind < 35:
+            tracer.record_send(
+                t, site, txn, _TRACE_MTYPES[rng.randrange(n_mtypes)], rng.randrange(n_sites)
+            )
+        elif kind < 65:
+            tracer.record_deliver(
+                t, site, txn, _TRACE_MTYPES[rng.randrange(n_mtypes)], rng.randrange(n_sites)
+            )
+        elif kind < 72:
+            tracer.record_drop(
+                t,
+                site,
+                txn,
+                _TRACE_MTYPES[rng.randrange(n_mtypes)],
+                rng.randrange(n_sites),
+                "partitioned",
+            )
+        elif kind < 90:
+            tracer.record(t, site, "state", txn, src="W", dst="PC")
+        elif kind < 96:
+            tracer.record(t, site, "decision", txn, outcome="commit" if kind % 2 else "abort")
+        else:
+            tracer.record(t, site, "quorum", txn, ok=bool(kind % 2))
+    query_hits = 0
+    cats = ("send", "deliver", "decision", "state", "drop")
+    for q in range(queries):
+        cat = cats[q % len(cats)]
+        query_hits += len(tracer.where(category=cat, site=q % n_sites))
+        query_hits += tracer.count(cat)
+    decided_sites = 0
+    for i in range(n_txns):
+        decided_sites += len(tracer.decisions(f"T{i}"))
+    histogram = tracer.message_counts()
+    wall = time.perf_counter() - t0
+    return {
+        "counters": {
+            "records": len(tracer),
+            "dropped": tracer.dropped,
+            "query_hits": query_hits,
+            "decided_sites": decided_sites,
+            "mtypes": len(histogram),
+            "messages_counted": sum(histogram.values()),
+        },
+        "timing": {"wall_s": wall},
+    }
+
+
+# ----------------------------------------------------------------------
+# partition churn microbench
+# ----------------------------------------------------------------------
+
+
+def partition_churn_trial(
+    seed: int,
+    intern: bool,
+    n_sites: int = 64,
+    n_plans: int = 6,
+    rounds: int = 120,
+) -> dict[str, Any]:
+    """Replay a storm plan's partition/heal cycle against live views.
+
+    The ``intern`` grid axis selects per-event ``PartitionView``
+    reconstruction (``False``) or the network's interned view cache
+    (``True``).  A handful of distinct group layouts recur across many
+    rounds — exactly the shape of :func:`region_storm_plan` waves — and
+    each partition event also pays its trace record (whose component
+    rendering the interned views memoize).  Counters must be identical
+    on both sides; only the wall time may differ.
+    """
+    rng = RngRegistry(seed).stream("churn-bench")
+    sched = Scheduler()
+    tracer = Tracer()
+    network = Network(sched, tracer, RngRegistry(seed), intern_views=intern)
+    for i in range(n_sites):
+        _Sink(i, network)
+    plans = [
+        tuple(tuple(g) for g in random_partition_groups(rng, network.sites, 1 + q % 3))
+        for q in range(n_plans)
+    ]
+    checksum = 0
+    t0 = time.perf_counter()
+    for r in range(rounds):
+        for plan in plans:
+            network.set_partition(plan)
+            view = network.partition
+            checksum += len(view.components)
+            # the questions termination keeps asking under a storm
+            src = (r + len(plan)) % n_sites
+            checksum += len(view.component_of(src))
+            checksum += view.reachable(src, (src + 7) % n_sites)
+        network.heal()
+    wall = time.perf_counter() - t0
+    return {
+        "counters": {
+            "epochs": network.epoch,
+            "partitions_traced": tracer.count("partition"),
+            "heals_traced": tracer.count("heal"),
+            "checksum": checksum,
+        },
+        "timing": {"wall_s": wall},
+    }
+
+
+# ----------------------------------------------------------------------
+# persistent-pool executor microbench
+# ----------------------------------------------------------------------
+
+
+def _probe_catalog() -> Any:
+    """A small pure catalog (no RNG) for the warm-pool probe task."""
+    from repro.replication.catalog import CatalogBuilder
+
+    builder = CatalogBuilder()
+    for i in range(4):
+        builder.replicated_item(f"p{i}", sites=[1, 2, 3], r=2, w=2)
+    return builder.build()
+
+
+def warm_pool_probe(seed: int, n_events: int = 500) -> dict[str, Any]:
+    """One small sweep task: a mini scheduler drain over a cached catalog.
+
+    Deliberately light — the ``suite_warm_pool`` case measures executor
+    overhead, so per-task work must not drown out pool creation.  The
+    catalog goes through :func:`~repro.engine.executor.worker_cache`,
+    so a warm worker builds it once across every sweep of the campaign.
+    """
+    catalog = worker_cache(("bench-probe-catalog",), _probe_catalog)
+    sched = Scheduler()
+    for i in range(n_events):
+        sched.call_fixed(float((i * 2654435761 + seed) % 211), _noop)
+    sched.run()
+    return {
+        "counters": {
+            "events_run": sched.events_run,
+            "items": len(catalog.item_names),
+            "final_now": sched.now,
+        },
+        "timing": {},
+    }
+
+
+def suite_warm_pool_trial(
+    seed: int,
+    warm: bool,
+    n_sweeps: int = 6,
+    runs_per_sweep: int = 8,
+    pool_workers: int = 2,
+    probe_events: int = 500,
+) -> dict[str, Any]:
+    """Run a campaign of small sweeps: pool-per-sweep vs one warm pool.
+
+    The ``warm`` grid axis selects the legacy executor (a process pool
+    created and torn down inside every ``run_sweep`` call) or a single
+    :class:`~repro.engine.executor.SweepRunner` kept alive across the
+    whole campaign — the shape of the bench suite itself, whose cases
+    all ride one warm pool under ``--persistent-pool``.  Counters must
+    be identical on both sides; only the wall time may differ.  In
+    environments where pools cannot be created at all (sandboxes,
+    nested pools) both arms degrade to serial and stay identical.
+    """
+    specs = [
+        SweepSpec(
+            name=f"warm-pool-{i}",
+            task=warm_pool_probe,
+            grid={},
+            runs=runs_per_sweep,
+            base_seed=seed * 1009 + i,
+            fixed={"n_events": probe_events},
+        )
+        for i in range(n_sweeps)
+    ]
+    t0 = time.perf_counter()
+    if warm:
+        with SweepRunner(workers=pool_workers) as runner:
+            outcomes = [runner.run_sweep(spec) for spec in specs]
+    else:
+        outcomes = [run_sweep(spec, workers=pool_workers) for spec in specs]
+    wall = time.perf_counter() - t0
+    events = 0
+    checksum = 0
+    tasks = 0
+    for outcome in outcomes:
+        for result in outcome.results:
+            tasks += 1
+            events += result.value["counters"]["events_run"]
+            checksum += int(result.value["counters"]["final_now"]) + result.seed % 997
+    return {
+        "counters": {
+            "sweeps": len(outcomes),
+            "tasks": tasks,
+            "events_run": events,
+            "checksum": checksum,
+        },
+        "timing": {"wall_s": wall},
+    }
+
+
+# ----------------------------------------------------------------------
 # the default suite
 # ----------------------------------------------------------------------
 
@@ -373,6 +623,12 @@ _SCALES = {
         "fanout_rounds": 40,
         "wal_txns": 400,
         "wal_replays": 6,
+        "trace_events": 40_000,
+        "trace_queries": 120,
+        "churn_sites": 64,
+        "churn_rounds": 120,
+        "warm_sweeps": 6,
+        "warm_runs": 8,
         "repeats": 3,
     },
     "quick": {
@@ -384,6 +640,12 @@ _SCALES = {
         "fanout_rounds": 3,
         "wal_txns": 40,
         "wal_replays": 1,
+        "trace_events": 3_000,
+        "trace_queries": 20,
+        "churn_sites": 12,
+        "churn_rounds": 6,
+        "warm_sweeps": 2,
+        "warm_runs": 3,
         "repeats": 1,
     },
 }
@@ -469,6 +731,54 @@ def default_suite(scale: str = "full") -> BenchSuite:
                 ),
                 repeats=repeats,
                 derived=ab_speedup("grouped"),
+            ),
+            BenchCase(
+                name="trace_record",
+                spec=SweepSpec(
+                    name="bench-trace-record",
+                    task=trace_record_trial,
+                    grid={"columnar": [False, True]},
+                    runs=2,
+                    seeding="offset",
+                    fixed={
+                        "n_events": s["trace_events"],
+                        "queries": s["trace_queries"],
+                    },
+                ),
+                repeats=repeats,
+                derived=ab_speedup("columnar"),
+            ),
+            BenchCase(
+                name="partition_churn",
+                spec=SweepSpec(
+                    name="bench-partition-churn",
+                    task=partition_churn_trial,
+                    grid={"intern": [False, True]},
+                    runs=2,
+                    seeding="offset",
+                    fixed={
+                        "n_sites": s["churn_sites"],
+                        "rounds": s["churn_rounds"],
+                    },
+                ),
+                repeats=repeats,
+                derived=ab_speedup("intern"),
+            ),
+            BenchCase(
+                name="suite_warm_pool",
+                spec=SweepSpec(
+                    name="bench-suite-warm-pool",
+                    task=suite_warm_pool_trial,
+                    grid={"warm": [False, True]},
+                    runs=2,
+                    seeding="offset",
+                    fixed={
+                        "n_sweeps": s["warm_sweeps"],
+                        "runs_per_sweep": s["warm_runs"],
+                    },
+                ),
+                repeats=repeats,
+                derived=ab_speedup("warm"),
             ),
         ]
     )

@@ -43,6 +43,9 @@ class CaseDiff:
     errors: list[str] = field(default_factory=list)
     warnings: list[str] = field(default_factory=list)
     speedup: float | None = None
+    base_speedup: float | None = None
+    base_wall: float | None = None
+    fresh_wall: float | None = None
 
     @property
     def ok(self) -> bool:
@@ -82,10 +85,22 @@ def compare_case(
         return diff
     _compare_rows(diff, base_det.get("rows", []), fresh_det.get("rows", []))
     _compare_timing(diff, baseline.get("timing"), fresh.get("timing"), time_tolerance)
+    diff.base_wall = _wall_mean(baseline.get("timing"))
+    diff.fresh_wall = _wall_mean(fresh.get("timing"))
     derived = (fresh.get("timing") or {}).get("derived") or {}
     if "speedup" in derived:
         diff.speedup = derived["speedup"]
+    base_derived = (baseline.get("timing") or {}).get("derived") or {}
+    if "speedup" in base_derived:
+        diff.base_speedup = base_derived["speedup"]
     return diff
+
+
+def _wall_mean(timing: dict[str, Any] | None) -> float | None:
+    """The mean wall time of a payload's timing block, if recorded."""
+    if not timing:
+        return None
+    return (timing.get("wall_s") or {}).get("mean")
 
 
 def _compare_rows(
@@ -179,15 +194,70 @@ def diff_against_baselines(
     names: Iterable[str] | None = None,
     workers: int = 1,
     time_tolerance: float = DEFAULT_TIME_TOLERANCE,
+    runner: Any | None = None,
 ) -> list[CaseDiff]:
-    """Run the suite fresh and compare each case to its baseline."""
+    """Run the suite fresh and compare each case to its baseline.
+
+    ``runner`` (a :class:`~repro.engine.executor.SweepRunner`) executes
+    every case on one persistent warm pool — the ``--persistent-pool``
+    CLI mode.
+    """
     picked = list(names) if names is not None else suite.names
     return [
         _compare_to_baseline(
-            name, suite.run_case(name, workers=workers), store, time_tolerance
+            name,
+            suite.run_case(name, workers=workers, runner=runner),
+            store,
+            time_tolerance,
         )
         for name in picked
     ]
+
+
+def markdown_summary(results: list[CaseDiff]) -> str:
+    """A before/after table of the diff, in GitHub-flavoured markdown.
+
+    The CI bench job appends this to the Actions step summary: one row
+    per case with the counter verdict, the committed vs fresh wall
+    times, their ratio, and — for A/B cases — the committed and fresh
+    legacy/optimized speedups.
+    """
+    lines = [
+        "### Benchmark diff",
+        "",
+        "| case | counters | baseline wall (s) | fresh wall (s) | ratio | committed speedup | fresh speedup |",
+        "| --- | --- | ---: | ---: | ---: | ---: | ---: |",
+    ]
+
+    def fmt(value: float | None, suffix: str = "") -> str:
+        return f"{value:.3f}{suffix}" if value is not None else "—"
+
+    for result in results:
+        ratio = (
+            result.fresh_wall / result.base_wall
+            if result.fresh_wall is not None and result.base_wall
+            else None
+        )
+        lines.append(
+            "| {case} | {verdict} | {base} | {fresh} | {ratio} | {base_sp} | {fresh_sp} |".format(
+                case=f"`{result.case}`",
+                verdict="ok" if result.ok else "**DRIFT**",
+                base=fmt(result.base_wall),
+                fresh=fmt(result.fresh_wall),
+                ratio=fmt(ratio, "x"),
+                base_sp=fmt(result.base_speedup, "x"),
+                fresh_sp=fmt(result.speedup, "x"),
+            )
+        )
+    drifted = [r.case for r in results if not r.ok]
+    lines.append("")
+    if drifted:
+        lines.append(
+            f"**{len(drifted)} case(s) drifted:** " + ", ".join(f"`{c}`" for c in drifted)
+        )
+    else:
+        lines.append(f"{len(results)} case(s) clean — deterministic counters match the baselines.")
+    return "\n".join(lines) + "\n"
 
 
 def diff_stored_payloads(

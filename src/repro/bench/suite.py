@@ -32,7 +32,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator
 
 from repro.common.errors import StoreError
-from repro.engine.executor import SweepOutcome, run_sweep
+from repro.engine.executor import SweepOutcome, SweepRunner, run_sweep
 from repro.engine.spec import SweepSpec
 from repro.engine.store import jsonable
 
@@ -165,12 +165,16 @@ class BenchSuite:
         name: str,
         workers: int = 1,
         measure_time: bool = True,
+        runner: SweepRunner | None = None,
     ) -> dict[str, Any]:
         """Execute one case; returns its full baseline payload.
 
         With ``measure_time=False`` the sweep runs once and the payload
         carries no ``timing`` key at all — that is the byte-stable form
-        the fixed-point property tests exercise.
+        the fixed-point property tests exercise.  With a ``runner``,
+        the case's sweeps execute on that persistent warm pool (and
+        ``workers`` is ignored in favour of the runner's) — counters
+        are identical either way.
 
         Raises:
             BenchError: when the deterministic rows differ between
@@ -184,7 +188,10 @@ class BenchSuite:
         t_rows: list[dict[str, Any]] = []
         for repeat in range(repeats):
             t0 = time.perf_counter()
-            outcome = run_sweep(case.spec, workers=workers)
+            if runner is not None:
+                outcome = runner.run_sweep(case.spec)
+            else:
+                outcome = run_sweep(case.spec, workers=workers)
             walls.append(time.perf_counter() - t0)
             fresh = deterministic_rows(case.name, outcome)
             if rows is None:
@@ -219,11 +226,19 @@ class BenchSuite:
         names: Iterable[str] | None = None,
         workers: int = 1,
         measure_time: bool = True,
+        runner: SweepRunner | None = None,
     ) -> dict[str, dict[str, Any]]:
-        """Execute several cases (default: all), in registration order."""
+        """Execute several cases (default: all), in registration order.
+
+        Pass a :class:`~repro.engine.executor.SweepRunner` to run every
+        case's sweeps on one warm pool (the ``--persistent-pool`` CLI
+        mode): nine cases × three repeats then cost one pool, not 27.
+        """
         picked = list(names) if names is not None else self.names
         return {
-            name: self.run_case(name, workers=workers, measure_time=measure_time)
+            name: self.run_case(
+                name, workers=workers, measure_time=measure_time, runner=runner
+            )
             for name in picked
         }
 

@@ -67,6 +67,7 @@ class Cluster:
         abort_quorum: int | None = None,
         primaries: Mapping[str, int] | None = None,
         enforce_ignore_rules: bool = True,
+        tracer: Tracer | None = None,
     ) -> None:
         """Build a cluster.
 
@@ -85,6 +86,9 @@ class Cluster:
                 each item's lowest-id host).
             enforce_ignore_rules: pass False only to reproduce
                 Example 3's broken variant.
+            tracer: a pre-configured trace recorder (capacity-bounded,
+                ring-buffered, or the legacy ``columnar=False`` store);
+                default: an unbounded columnar :class:`Tracer`.
         """
         if protocol not in PROTOCOL_NAMES:
             raise ConfigurationError(
@@ -93,7 +97,7 @@ class Cluster:
         self.catalog = catalog
         self.protocol = protocol
         self.scheduler = Scheduler()
-        self.tracer = Tracer()
+        self.tracer = tracer if tracer is not None else Tracer()
         self.rng = RngRegistry(seed)
         self.network = Network(self.scheduler, self.tracer, self.rng, delay_model)
         self.sites: dict[int, Site] = {}

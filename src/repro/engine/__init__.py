@@ -14,6 +14,12 @@ ad-hoc ``for`` loops into one engine:
   executor with chunked batching and a serial fallback; results come
   back in task order, so output is **bit-identical at every worker
   count**.
+* :class:`~repro.engine.executor.SweepRunner` — the persistent-pool
+  executor: one warm worker pool (pre-imported simulator stack,
+  :func:`~repro.engine.executor.worker_cache` for shared catalogs)
+  reused across any number of sweeps, so campaigns of many sweeps
+  amortize process creation.  ``run_sweep(..., persistent_pool=True)``
+  routes through a process-wide shared runner.
 * :class:`~repro.engine.store.ResultStore` — schema-versioned JSON
   artifacts (canonical encoding, byte-stable) plus aggregation helpers
   that work on live results and loaded artifacts alike.
@@ -39,10 +45,14 @@ an independent stream.
 
 from repro.engine.executor import (
     SweepOutcome,
+    SweepRunner,
     default_chunksize,
     default_workers,
     map_runs,
     run_sweep,
+    shared_runner,
+    shutdown_shared_runners,
+    worker_cache,
 )
 from repro.engine.spec import RunResult, RunTask, SweepSpec, derive_seed
 from repro.engine.store import (
@@ -62,7 +72,7 @@ __all__ = [
     "RunResult",
     "RunTask",
     "SweepOutcome",
-    "SweepSpec",
+    "SweepRunner",
     "count_where",
     "default_chunksize",
     "default_workers",
@@ -73,5 +83,9 @@ __all__ = [
     "map_runs",
     "mean_of",
     "run_sweep",
+    "shared_runner",
+    "shutdown_shared_runners",
+    "SweepSpec",
     "values_of",
+    "worker_cache",
 ]

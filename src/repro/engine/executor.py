@@ -1,4 +1,5 @@
-"""Sweep execution: serial, or fanned out over a process pool.
+"""Sweep execution: serial, fanned out over a process pool, or onto a
+persistent warm pool reused across sweeps.
 
 The contract that makes parallelism safe here is one-way data flow:
 every :class:`~repro.engine.spec.RunTask` carries its own seed and
@@ -6,6 +7,19 @@ builds its own simulator, so tasks share nothing and the executor can
 batch them onto workers in any layout.  Results are always returned in
 task-index order, so a sweep's output is bit-identical at every worker
 count — a property the suite's property tests pin down.
+
+Two pool modes exist:
+
+* the default creates a pool per :func:`run_sweep` call — simple, and
+  fine when one sweep dominates the session;
+* :class:`SweepRunner` (or ``persistent_pool=True``) keeps **one warm
+  pool alive across sweeps**.  Workers are created once with an
+  initializer that pre-imports the simulator stack, so a campaign of
+  many small sweeps (the bench suite's cases, a 10^5-run study split
+  into shards) amortizes process creation and module import instead of
+  paying them per sweep.  Results are still bit-identical: warm workers
+  hold no per-task state, only imported modules and
+  :func:`worker_cache` entries that are pure functions of their keys.
 """
 
 from __future__ import annotations
@@ -39,6 +53,60 @@ def default_chunksize(n_tasks: int, workers: int) -> int:
     return max(1, n_tasks // (workers * 4) or 1)
 
 
+# ----------------------------------------------------------------------
+# warm-worker state
+# ----------------------------------------------------------------------
+
+#: per-worker memo for deterministic shared artifacts (see worker_cache).
+_WORKER_CACHE: dict[Any, Any] = {}
+
+
+def worker_cache(key: Any, build: Callable[[], Any]) -> Any:
+    """Per-process memo for artifacts that are pure functions of ``key``.
+
+    Persistent workers survive across tasks, so a catalog or topology
+    that every task of a sweep rebuilds identically can be built once
+    per worker: ``catalog = worker_cache(("wan", 4, 8), build_catalog)``.
+
+    Only cache values that are (a) deterministic given the key and (b)
+    never mutated by a run — and never cache anything whose construction
+    *consumes a shared RNG stream*, because skipping those draws on a
+    warm worker would change every draw that follows and break the
+    byte-identical-trajectories guarantee.
+    """
+    try:
+        return _WORKER_CACHE[key]
+    except KeyError:
+        value = _WORKER_CACHE[key] = build()
+        return value
+
+
+def clear_worker_cache() -> None:
+    """Drop this process's :func:`worker_cache` entries (tests use this)."""
+    _WORKER_CACHE.clear()
+
+
+def _warm_worker() -> None:
+    """Pool initializer: pre-import the simulator stack.
+
+    A cold worker pays these imports lazily inside its first task; a
+    spawned (non-fork) worker pays them per *pool*.  Importing them in
+    the initializer moves that cost to pool creation, which the
+    persistent runner pays exactly once per campaign.
+    """
+    import repro.db.cluster  # noqa: F401  (pulls protocols, net, sim, storage)
+    import repro.experiments.workload_study  # noqa: F401
+    import repro.workload.generators  # noqa: F401
+    import repro.workload.scenarios  # noqa: F401
+
+
+#: exceptions meaning "this environment cannot create that pool" — the
+#: serial fallback covers them; anything else is a real bug and raises.
+#: AssertionError is multiprocessing's daemonic-children refusal, hit
+#: when a bench task running *inside* a pool worker opens its own pool.
+_POOL_UNAVAILABLE = (ImportError, OSError, PermissionError, AssertionError)
+
+
 @dataclass
 class SweepOutcome:
     """An executed sweep: the spec summary plus ordered results."""
@@ -56,11 +124,25 @@ class SweepOutcome:
         return [r.value for r in self.results]
 
     def by_cell(self) -> list[tuple[dict[str, Any], list[RunResult]]]:
-        """Results grouped per grid cell, preserving expansion order."""
+        """Results grouped per grid cell, preserving expansion order.
+
+        All results of one sweep share a parameter-name set, so the
+        cell key is the value tuple under one sorted name list computed
+        once — not a re-sorted item tuple per result.  (Rows with a
+        divergent name set — hand-built outcomes — fall back to the
+        per-row sorted-items key.)
+        """
         groups: dict[tuple, tuple[dict[str, Any], list[RunResult]]] = {}
+        names: tuple[str, ...] | None = None
         for result in self.results:
-            key = tuple(sorted(result.params.items(), key=lambda kv: kv[0]))
-            groups.setdefault(key, (result.params, []))[1].append(result)
+            params = result.params
+            if names is None or len(params) != len(names):
+                names = tuple(sorted(params))
+            try:
+                key = tuple(params[name] for name in names)
+            except KeyError:  # divergent name set
+                key = tuple(sorted(params.items(), key=lambda kv: kv[0]))
+            groups.setdefault(key, (params, []))[1].append(result)
         return list(groups.values())
 
     def cell(self, **params: Any) -> list[RunResult]:
@@ -72,11 +154,88 @@ class SweepOutcome:
         ]
 
 
+class SweepRunner:
+    """A sweep executor that keeps one warm process pool across sweeps.
+
+    Opt-in persistent-pool mode: create the runner once, push any
+    number of sweeps through :meth:`run_sweep`, and close it (it is
+    also a context manager).  The pool is created lazily on the first
+    parallel sweep, with :func:`_warm_worker` pre-importing the
+    simulator stack in every worker; environments where pools cannot
+    be created (sandboxes, nested pools) degrade to serial execution,
+    exactly like :func:`run_sweep`.
+
+    Results are bit-identical to the per-sweep-pool and serial paths —
+    seeds travel with tasks and warm workers hold no run state.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = workers if workers is not None else default_workers()
+        self._pool: Any = None
+        self._pool_failed = False
+        self.sweeps_run = 0
+        self.pools_created = 0
+
+    def _ensure_pool(self) -> Any:
+        """The shared pool, or None when this environment cannot pool."""
+        if self._pool is None and not self._pool_failed:
+            try:
+                import multiprocessing
+
+                # import the stack in the *parent* first: fork children
+                # then inherit warm modules outright, and the initializer
+                # only pays real import work under a spawn start method.
+                _warm_worker()
+                ctx = multiprocessing.get_context()
+                self._pool = ctx.Pool(processes=self.workers, initializer=_warm_worker)
+                self.pools_created += 1
+            except _POOL_UNAVAILABLE:
+                self._pool_failed = True
+        return self._pool
+
+    def run_sweep(
+        self,
+        spec: SweepSpec,
+        chunksize: int | None = None,
+        store: "ResultStore | None" = None,
+    ) -> SweepOutcome:
+        """Execute one sweep on the warm pool (API mirrors :func:`run_sweep`)."""
+        tasks = spec.tasks()
+        pool = self._ensure_pool() if self.workers > 1 and len(tasks) > 1 else None
+        if pool is not None:
+            results = pool.map(
+                _execute_task,
+                tasks,
+                chunksize or default_chunksize(len(tasks), self.workers),
+            )
+        else:
+            results = [task.execute() for task in tasks]
+        self.sweeps_run += 1
+        outcome = SweepOutcome(spec=spec.summary(), results=results)
+        if store is not None:
+            store.save(outcome)
+        return outcome
+
+    def close(self) -> None:
+        """Tear the pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "SweepRunner":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
 def run_sweep(
     spec: SweepSpec,
     workers: int = 1,
     chunksize: int | None = None,
     store: "ResultStore | None" = None,
+    persistent_pool: bool = False,
 ) -> SweepOutcome:
     """Execute a sweep and (optionally) persist its artifact.
 
@@ -90,11 +249,17 @@ def run_sweep(
             :func:`default_chunksize`.
         store: when given, the outcome is saved under ``spec.name``
             before returning.
+        persistent_pool: run on the process-wide shared
+            :class:`SweepRunner` for this worker count, keeping the
+            pool warm for later ``run_sweep`` calls, instead of
+            creating (and tearing down) a pool just for this sweep.
 
     Returns:
         A :class:`SweepOutcome` whose ``results`` are in task order —
         identical content for every ``workers`` value.
     """
+    if persistent_pool and workers > 1:
+        return shared_runner(workers).run_sweep(spec, chunksize=chunksize, store=store)
     tasks = spec.tasks()
     if workers > 1 and len(tasks) > 1:
         results = _run_pool(tasks, workers, chunksize)
@@ -106,6 +271,34 @@ def run_sweep(
     return outcome
 
 
+#: process-wide persistent runners, one per worker count.
+_SHARED_RUNNERS: dict[int, SweepRunner] = {}
+
+
+def shared_runner(workers: int) -> SweepRunner:
+    """The process-wide persistent :class:`SweepRunner` for ``workers``.
+
+    The first call registers :func:`shutdown_shared_runners` with
+    ``atexit``, so warm pools opened via ``persistent_pool=True`` are
+    closed at interpreter exit even if the caller never cleans up.
+    """
+    runner = _SHARED_RUNNERS.get(workers)
+    if runner is None:
+        if not _SHARED_RUNNERS:
+            import atexit
+
+            atexit.register(shutdown_shared_runners)
+        runner = _SHARED_RUNNERS[workers] = SweepRunner(workers=workers)
+    return runner
+
+
+def shutdown_shared_runners() -> None:
+    """Close every process-wide persistent runner (tests / atexit)."""
+    for runner in _SHARED_RUNNERS.values():
+        runner.close()
+    _SHARED_RUNNERS.clear()
+
+
 def _run_pool(
     tasks: list[RunTask],
     workers: int,
@@ -114,14 +307,15 @@ def _run_pool(
     """Map tasks over a process pool; fall back to serial on failure.
 
     ``Pool.map`` preserves input order, so no re-sorting is needed; the
-    fallback covers sandboxes where process creation is forbidden.
+    fallback covers sandboxes where process creation is forbidden and
+    nested pools (a task already running inside a pool worker).
     """
     try:
         import multiprocessing
 
         ctx = multiprocessing.get_context()
         pool = ctx.Pool(processes=workers)
-    except (ImportError, OSError, PermissionError):
+    except _POOL_UNAVAILABLE:
         # only pool *creation* falls back; an error raised by a task
         # must surface, not silently re-run the whole sweep serially
         return [task.execute() for task in tasks]

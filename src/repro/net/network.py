@@ -34,6 +34,24 @@ drop reasons (``partitioned-in-flight``, ``destination-down``) are
 bit-identical to the unoptimized path.  ``fanout_cache=False`` restores
 the legacy per-message evaluation — kept for A/B measurement by the
 ``net_deliver_fanout`` bench case.
+
+Two further hot paths are cached here:
+
+* **Partition views are interned.**  Storm-heavy failure plans apply
+  the same group layout over and over; building a
+  :class:`~repro.net.partitions.PartitionView` re-validates the groups
+  and rebuilds every component ``frozenset`` each time.  With
+  ``intern_views=True`` (default) the network keeps a view cache keyed
+  by the normalized group signature — repeated ``set_partition`` calls
+  (and every ``heal``) reuse the cached view, whose memoized
+  ``sorted_components()`` also serves the ``partition`` trace record.
+  The cache is cleared whenever the site universe changes
+  (``register``).  ``intern_views=False`` rebuilds per event — kept
+  for A/B measurement by the ``partition_churn`` bench case.
+* **Trace appends use the tracer's fast paths.**  The per-message
+  ``send`` / ``deliver`` / ``drop`` records go through
+  :meth:`Tracer.record_send` and friends, which append straight into
+  the columnar store without building a detail dict or a record object.
 """
 
 from __future__ import annotations
@@ -63,6 +81,7 @@ class Network:
         rng: "RngRegistry",
         delay_model: DelayModel | None = None,
         fanout_cache: bool = True,
+        intern_views: bool = True,
     ) -> None:
         self._scheduler = scheduler
         self._tracer = tracer
@@ -85,6 +104,10 @@ class Network:
         self._sendable: dict[int, frozenset[int]] = {}
         self._labels: dict[str, str] = {}
         self._fast_path = fanout_cache
+        # interned partition views, keyed by normalized group signature
+        # (None = the healed view); cleared when the universe changes.
+        self._intern_views = intern_views
+        self._view_cache: dict[tuple[tuple[int, ...], ...] | None, PartitionView] = {}
 
     # ------------------------------------------------------------------
     # registration and topology
@@ -95,7 +118,8 @@ class Network:
         if node.node_id in self._nodes:
             raise ValueError(f"duplicate node id {node.node_id}")
         self._nodes[node.node_id] = node
-        self._partition = PartitionView(self._nodes)
+        self._view_cache.clear()  # interned views are universe-specific
+        self._partition = self._interned_view(None)
         self._bump_epoch()
 
     @property
@@ -107,6 +131,26 @@ class Network:
         """Invalidate the reachable-peer cache after a connectivity change."""
         self._epoch += 1
         self._sendable.clear()
+
+    def _interned_view(self, groups: Sequence[Sequence[int]] | None) -> PartitionView:
+        """The partition view for ``groups``, interned when enabled.
+
+        ``None`` means fully connected (the healed view).  The key is
+        the group layout verbatim — an equivalent layout written in a
+        different order is a harmless cache miss, and validation of a
+        *new* layout still happens inside the ``PartitionView``
+        constructor on first sight.
+        """
+        if not self._intern_views:
+            return PartitionView(self._nodes, groups)
+        # tuple() is identity on tuples, so pre-normalized plans
+        # (FailureInjector actions) build their key without re-copying
+        # any group.
+        key = None if groups is None else tuple(map(tuple, groups))
+        view = self._view_cache.get(key)
+        if view is None:
+            view = self._view_cache[key] = PartitionView(self._nodes, groups)
+        return view
 
     def _refresh_fast_path(self) -> None:
         """Fast sends are only legal with no filters and no lossy links."""
@@ -198,19 +242,21 @@ class Network:
 
     def set_partition(self, groups: Sequence[Sequence[int]]) -> None:
         """Split the network into the given disjoint components."""
-        self._partition = PartitionView(self._nodes, groups)
+        self._partition = self._interned_view(groups)
         self._bump_epoch()
         self._tracer.record(
             self._scheduler.now,
             GLOBAL_SITE,
             "partition",
-            groups=[sorted(c) for c in self._partition.components],
+            groups=self._partition.sorted_components(),
         )
         self._notify("partition")
 
     def heal(self) -> None:
         """Restore full connectivity (and clear per-link loss)."""
-        self._partition = self._partition.healed()
+        self._partition = (
+            self._interned_view(None) if self._intern_views else self._partition.healed()
+        )
         self._link_loss.clear()
         self._bump_epoch()
         self._refresh_fast_path()
@@ -259,7 +305,7 @@ class Network:
         src = msg.src
         dst = msg.dst
         sched = self._scheduler
-        self._tracer.record(sched.now, src, "send", msg.txn, mtype=msg.mtype, dst=dst)
+        self._tracer.record_send(sched.now, src, msg.txn, msg.mtype, dst)
         if not self._fast_path:
             self._send_slow(msg)
             return
@@ -333,7 +379,7 @@ class Network:
                 self.send(Message(src, dst, mtype, txn, payload))
             return
         nodes = self._nodes
-        tracer_record = self._tracer.record
+        record_send = self._tracer.record_send
         sched = self._scheduler
         drop = self._drop
         src_node = nodes.get(src)
@@ -346,7 +392,7 @@ class Network:
         for dst in dsts:
             self.sent += 1
             now = sched.now
-            tracer_record(now, src, "send", txn, mtype=mtype, dst=dst)
+            record_send(now, src, txn, mtype, dst)
             msg = Message(src, dst, mtype, txn, payload)
             dst_node = nodes.get(dst)
             if dst_node is None:
@@ -409,8 +455,8 @@ class Network:
             self._deliver(msg)
             return
         self.delivered += 1
-        self._tracer.record(
-            self._scheduler.now, msg.dst, "deliver", msg.txn, mtype=msg.mtype, src=msg.src
+        self._tracer.record_deliver(
+            self._scheduler.now, msg.dst, msg.txn, msg.mtype, msg.src
         )
         node.deliver(msg)
 
@@ -423,11 +469,11 @@ class Network:
             self._drop(msg, "partitioned-in-flight")
             return
         self.delivered += 1
-        self._tracer.record(self._scheduler.now, msg.dst, "deliver", msg.txn, mtype=msg.mtype, src=msg.src)
+        self._tracer.record_deliver(self._scheduler.now, msg.dst, msg.txn, msg.mtype, msg.src)
         node.deliver(msg)
 
     def _drop(self, msg: Message, reason: str) -> None:
         self.dropped += 1
-        self._tracer.record(
-            self._scheduler.now, msg.src, "drop", msg.txn, mtype=msg.mtype, dst=msg.dst, reason=reason
+        self._tracer.record_drop(
+            self._scheduler.now, msg.src, msg.txn, msg.mtype, msg.dst, reason
         )

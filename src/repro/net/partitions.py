@@ -52,6 +52,12 @@ class PartitionView:
         self._universe = universe
         self._components = tuple(components)
         self._component_of = {s: comp for comp in components for s in comp}
+        # order-insensitive identity, computed once: __eq__ / __hash__
+        # run on every interning lookup and view comparison, and used to
+        # rebuild set(self._components) per call before.
+        self._component_set = frozenset(self._components)
+        self._hash = hash(self._component_set)
+        self._sorted: list[list[int]] | None = None
 
     @property
     def sites(self) -> frozenset[int]:
@@ -83,13 +89,24 @@ class PartitionView:
         """A fully connected view over the same universe."""
         return PartitionView(self._universe)
 
+    def sorted_components(self) -> list[list[int]]:
+        """Components as sorted site lists, memoized (do not mutate).
+
+        The rendering every ``partition`` trace record carries; caching
+        it on the view means interned views (storm plans replaying the
+        same groups) sort once instead of once per event.
+        """
+        if self._sorted is None:
+            self._sorted = [sorted(c) for c in self._components]
+        return self._sorted
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, PartitionView):
             return NotImplemented
-        return set(self._components) == set(other._components)
+        return self._component_set == other._component_set
 
     def __hash__(self) -> int:
-        return hash(frozenset(self._components))
+        return self._hash
 
     def __repr__(self) -> str:
         comps = " | ".join("{" + ",".join(map(str, sorted(c))) + "}" for c in self._components)

@@ -143,7 +143,10 @@ class FailureInjector:
         elif isinstance(action, RecoverSite):
             net.recover_site(action.site)
         elif isinstance(action, PartitionNetwork):
-            net.set_partition([list(g) for g in action.groups])
+            # tuples pass through verbatim: the network interns views by
+            # group signature, so a replayed plan action is a cache hit
+            # with no per-event list copies.
+            net.set_partition(action.groups)
         elif isinstance(action, HealNetwork):
             net.heal()
         elif isinstance(action, SetLinkLoss):

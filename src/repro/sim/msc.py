@@ -77,11 +77,9 @@ def message_sequence_chart(
         include_drops: chart dropped messages (with their reason).
         max_lines: truncate long charts (an ellipsis line is added).
     """
-    records = [
-        rec
-        for rec in tracer.records
-        if txn is None or rec.txn in ("", txn)
-    ]
+    # txn_scope merges the per-txn row indexes (O(k)); a full chart
+    # materializes every record anyway.
+    records = tracer.records if txn is None else tracer.txn_scope(txn)
     lines: list[str] = []
     for i, rec in enumerate(records):
         if rec.category == "drop" and not include_drops:

@@ -12,10 +12,24 @@ must also agree with *each other* on every counter.
 from hypothesis import given, settings, strategies as st
 
 from repro.bench import compare_case, default_suite, deterministic_payload, encode
-from repro.bench.cases import net_fanout_trial, wal_append_trial
+from repro.bench.cases import (
+    net_fanout_trial,
+    partition_churn_trial,
+    suite_warm_pool_trial,
+    trace_record_trial,
+    wal_append_trial,
+)
 
 #: cases cheap enough to run repeatedly inside tier-1.
-QUICK_CASES = ["scheduler_drain", "commit_mix", "net_deliver_fanout", "wal_append"]
+QUICK_CASES = [
+    "scheduler_drain",
+    "commit_mix",
+    "net_deliver_fanout",
+    "wal_append",
+    "trace_record",
+    "partition_churn",
+    "suite_warm_pool",
+]
 
 
 def _payload_bytes(suite, name, workers=1):
@@ -70,3 +84,24 @@ class TestABCountersAgree:
         # group commit batches flushes; legacy charges one per record
         assert grouped["counters"]["flushes"] <= legacy["counters"]["flushes"]
         assert legacy["counters"]["flushes"] == legacy["counters"]["forced"]
+
+    @given(st.integers(0, 2**20))
+    @settings(max_examples=10, deadline=None)
+    def test_trace_counters_identical_across_stores(self, seed):
+        legacy = trace_record_trial(seed, columnar=False, n_events=600, queries=12)
+        columnar = trace_record_trial(seed, columnar=True, n_events=600, queries=12)
+        assert legacy["counters"] == columnar["counters"]
+
+    @given(st.integers(0, 2**20))
+    @settings(max_examples=10, deadline=None)
+    def test_churn_counters_identical_across_interning(self, seed):
+        fresh = partition_churn_trial(seed, intern=False, n_sites=10, rounds=4)
+        interned = partition_churn_trial(seed, intern=True, n_sites=10, rounds=4)
+        assert fresh["counters"] == interned["counters"]
+
+    @given(st.integers(0, 2**10))
+    @settings(max_examples=3, deadline=None)
+    def test_warm_pool_counters_identical_across_executors(self, seed):
+        cold = suite_warm_pool_trial(seed, warm=False, n_sweeps=2, runs_per_sweep=2)
+        warm = suite_warm_pool_trial(seed, warm=True, n_sweeps=2, runs_per_sweep=2)
+        assert cold["counters"] == warm["counters"]

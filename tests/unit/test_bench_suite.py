@@ -84,6 +84,9 @@ class TestSuite:
             "wan_storm",
             "net_deliver_fanout",
             "wal_append",
+            "trace_record",
+            "partition_churn",
+            "suite_warm_pool",
         ]
         with pytest.raises(ValueError, match="unknown scale"):
             default_suite("huge")

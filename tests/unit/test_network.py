@@ -192,6 +192,58 @@ class TestCrashRecovery:
         assert events == ["partition", "heal", "recover"]
 
 
+class TestViewInterning:
+    def test_repeated_layouts_reuse_one_view(self, net):
+        __, network, __nodes = net
+        network.set_partition([[1], [2, 3]])
+        first = network.partition
+        network.heal()
+        network.set_partition(((1,), (2, 3)))  # tuple spelling, same layout
+        assert network.partition is first
+
+    def test_heals_reuse_one_view(self, net):
+        __, network, __nodes = net
+        network.heal()
+        healed = network.partition
+        network.set_partition([[1], [2, 3]])
+        network.heal()
+        assert network.partition is healed
+
+    def test_register_invalidates_interned_views(self, net):
+        __, network, __nodes = net
+        network.set_partition([[1], [2, 3]])
+        stale = network.partition
+        Recorder(4, network)
+        network.set_partition([[1], [2, 3]])
+        assert network.partition is not stale
+        assert network.partition.sites == frozenset([1, 2, 3, 4])
+        # site 4 was in no group: a singleton component
+        assert network.partition.component_of(4) == frozenset([4])
+
+    def test_intern_disabled_builds_fresh_views(self):
+        scheduler = Scheduler()
+        network = Network(scheduler, Tracer(), RngRegistry(0), intern_views=False)
+        for i in (1, 2, 3):
+            Recorder(i, network)
+        network.set_partition([[1], [2, 3]])
+        first = network.partition
+        network.heal()
+        network.set_partition([[1], [2, 3]])
+        assert network.partition is not first
+        assert network.partition == first  # equal content, fresh object
+
+    def test_interned_and_fresh_views_agree(self, net):
+        __, network, __nodes = net
+        other = Network(Scheduler(), Tracer(), RngRegistry(0), intern_views=False)
+        for i in (1, 2, 3):
+            Recorder(i, other)
+        for groups in ([[1], [2, 3]], [[1, 2], [3]], [[1], [2], [3]]):
+            network.set_partition(groups)
+            other.set_partition(groups)
+            assert network.partition == other.partition
+            assert network.partition.sorted_components() == other.partition.sorted_components()
+
+
 class TestMessage:
     def test_family_prefix(self):
         msg = Message(1, 2, "qtp1.vote-req", "T1")

@@ -68,3 +68,18 @@ class TestQueries:
         a = PartitionView([1, 2, 3], [[1], [2, 3]])
         b = PartitionView([1, 2, 3], [[1, 2], [3]])
         assert a != b
+
+    def test_eq_against_other_types(self):
+        assert PartitionView([1, 2]) != "not-a-view"
+
+    def test_sorted_components_memoized_and_ordered(self):
+        view = PartitionView([1, 2, 3, 4, 5], [[3, 1], [5, 4]])
+        rendered = view.sorted_components()
+        assert rendered == [[1, 3], [4, 5], [2]]
+        assert view.sorted_components() is rendered  # memoized
+
+    def test_hash_is_stable_and_usable_as_key(self):
+        a = PartitionView([1, 2, 3], [[1], [2, 3]])
+        b = PartitionView([1, 2, 3], [[2, 3], [1]])
+        views = {a: "first"}
+        assert views[b] == "first"

@@ -1,0 +1,96 @@
+"""Unit tests for the persistent-pool sweep executor."""
+
+from repro.engine.executor import (
+    SweepRunner,
+    clear_worker_cache,
+    run_sweep,
+    shared_runner,
+    shutdown_shared_runners,
+    worker_cache,
+)
+from repro.engine.spec import SweepSpec
+from repro.bench.cases import warm_pool_probe
+
+
+def _spec(name: str, runs: int = 4) -> SweepSpec:
+    return SweepSpec(
+        name=name,
+        task=warm_pool_probe,
+        grid={},
+        runs=runs,
+        fixed={"n_events": 50},
+    )
+
+
+class TestSweepRunner:
+    def test_matches_serial_results(self):
+        serial = run_sweep(_spec("probe"), workers=1)
+        with SweepRunner(workers=2) as runner:
+            warm = runner.run_sweep(_spec("probe"))
+        assert warm.results == serial.results
+        assert warm.spec == serial.spec
+
+    def test_one_pool_across_many_sweeps(self):
+        with SweepRunner(workers=2) as runner:
+            outcomes = [runner.run_sweep(_spec(f"s{i}")) for i in range(4)]
+            assert runner.sweeps_run == 4
+            assert runner.pools_created <= 1  # 0 when pooling is unavailable
+        assert [len(o.results) for o in outcomes] == [4, 4, 4, 4]
+
+    def test_serial_runner_never_pools(self):
+        runner = SweepRunner(workers=1)
+        outcome = runner.run_sweep(_spec("serial"))
+        assert runner.pools_created == 0
+        assert outcome.results == run_sweep(_spec("serial")).results
+        runner.close()
+
+    def test_close_is_idempotent(self):
+        runner = SweepRunner(workers=2)
+        runner.run_sweep(_spec("x", runs=2))
+        runner.close()
+        runner.close()
+        # a closed runner can still execute, serially or on a fresh pool
+        assert len(runner.run_sweep(_spec("y", runs=2)).results) == 2
+        runner.close()
+
+    def test_store_is_saved(self, tmp_path):
+        from repro.engine.store import ResultStore
+
+        store = ResultStore(tmp_path)
+        with SweepRunner(workers=1) as runner:
+            runner.run_sweep(_spec("stored"), store=store)
+        assert store.load("stored")["spec"]["name"] == "stored"
+
+
+class TestPersistentPoolFlag:
+    def test_run_sweep_routes_through_shared_runner(self):
+        try:
+            outcome = run_sweep(_spec("flagged"), workers=2, persistent_pool=True)
+            assert shared_runner(2).sweeps_run >= 1
+            assert outcome.results == run_sweep(_spec("flagged"), workers=1).results
+        finally:
+            shutdown_shared_runners()
+
+    def test_shared_runner_is_per_worker_count(self):
+        try:
+            assert shared_runner(2) is shared_runner(2)
+            assert shared_runner(2) is not shared_runner(3)
+        finally:
+            shutdown_shared_runners()
+
+
+class TestWorkerCache:
+    def test_builds_once_per_key(self):
+        clear_worker_cache()
+        calls = []
+
+        def build():
+            calls.append(1)
+            return {"value": len(calls)}
+
+        first = worker_cache(("k",), build)
+        second = worker_cache(("k",), build)
+        assert first is second
+        assert calls == [1]
+        assert worker_cache(("other",), build) is not first
+        clear_worker_cache()

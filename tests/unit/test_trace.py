@@ -1,6 +1,14 @@
-"""Unit tests for the trace recorder."""
+"""Unit tests for the trace recorder.
 
-from repro.sim.trace import Tracer
+The columnar store must be observationally identical to the legacy
+list-of-dataclasses store — materialized records compare equal, dumps
+are byte-identical — while the capacity modes differ on purpose:
+truncate drops *new* records, ring drops the *oldest*.
+"""
+
+import pytest
+
+from repro.sim.trace import TraceRecord, Tracer
 
 
 class TestRecording:
@@ -60,7 +68,180 @@ class TestQueries:
         tracer.record(1.0, 1, "send", mtype="a.c")
         assert tracer.message_counts() == {"a.b": 2, "a.c": 1}
 
+    @pytest.mark.parametrize("columnar", [True, False])
+    def test_message_counts_buckets_missing_mtype(self, columnar):
+        tracer = Tracer(columnar=columnar)
+        tracer.record(1.0, 1, "send")
+        tracer.record(1.0, 1, "send", mtype="a.b")
+        assert tracer.message_counts() == {"?": 1, "a.b": 1}
+
     def test_dump_renders_all_records(self, tracer):
         tracer.record(1.0, 1, "send", "T1", mtype="m")
         text = tracer.dump()
         assert "send" in text and "T1" in text
+
+
+def _fill(tracer: Tracer, n: int = 30) -> None:
+    """A deterministic mixed workload exercising every append path."""
+    for i in range(n):
+        t = float(i)
+        site = i % 5
+        txn = f"T{i % 3}"
+        kind = i % 6
+        if kind == 0:
+            tracer.record_send(t, site, txn, "qtp1.vote-req", (site + 1) % 5)
+        elif kind == 1:
+            tracer.record_deliver(t, site, txn, "qtp1.vote-req", (site + 4) % 5)
+        elif kind == 2:
+            tracer.record_drop(t, site, txn, "qtp1.ack", (site + 2) % 5, "partitioned")
+        elif kind == 3:
+            tracer.record(t, site, "state", txn, src="W", dst="PC")
+        elif kind == 4:
+            tracer.record(t, site, "decision", txn, outcome="commit")
+        else:
+            tracer.record(t, -1, "partition", groups=[[0, 1], [2, 3, 4]])
+
+
+class TestColumnarLegacyEquivalence:
+    def test_records_and_dump_identical(self):
+        col = Tracer(columnar=True)
+        leg = Tracer(columnar=False)
+        _fill(col)
+        _fill(leg)
+        assert col.records == leg.records
+        assert col.dump() == leg.dump()
+        assert list(col) == list(leg)
+        assert len(col) == len(leg)
+
+    def test_queries_identical(self):
+        col = Tracer(columnar=True)
+        leg = Tracer(columnar=False)
+        _fill(col)
+        _fill(leg)
+        for kwargs in [
+            {"category": "send"},
+            {"category": "send", "site": 0},
+            {"category": "decision", "txn": "T1"},
+            {"txn": "T2"},
+            {"site": 3},
+            {"category": "send", "pred": lambda r: r.detail["dst"] == 1},
+            {"category": "no-such-category"},
+            {"txn": "no-such-txn"},
+            {"category": "send", "txn": "T0", "site": 0},
+        ]:
+            assert col.where(**kwargs) == leg.where(**kwargs), kwargs
+        assert col.count("deliver") == leg.count("deliver")
+        assert col.count("deliver", site=2) == leg.count("deliver", site=2)
+        assert col.decisions("T1") == leg.decisions("T1")
+        assert col.message_counts() == leg.message_counts()
+        assert col.txn_scope("T0") == leg.txn_scope("T0")
+
+    def test_compact_details_expand_in_kwarg_order(self):
+        tracer = Tracer()
+        tracer.record_send(1.0, 0, "T", "m", 2)
+        tracer.record_deliver(2.0, 2, "T", "m", 0)
+        tracer.record_drop(3.0, 0, "T", "m", 2, "sender-down")
+        send, deliver, drop = tracer.records
+        assert list(send.detail) == ["mtype", "dst"]
+        assert list(deliver.detail) == ["mtype", "src"]
+        assert list(drop.detail) == ["mtype", "dst", "reason"]
+        assert drop.detail["reason"] == "sender-down"
+
+    def test_materialized_views_are_memoized(self):
+        tracer = Tracer()
+        _fill(tracer, 10)
+        assert tracer.records[0] is tracer.records[0]
+        assert tracer.where(category="send")[0] is tracer.records[0]
+
+    def test_queries_see_appends_after_a_query(self):
+        # indexes extend incrementally once built
+        tracer = Tracer()
+        tracer.record_send(1.0, 0, "T", "m", 1)
+        assert tracer.count("send") == 1
+        tracer.record_send(2.0, 0, "T", "m", 2)
+        tracer.record(3.0, 1, "decision", "T", outcome="abort")
+        assert tracer.count("send") == 2
+        assert tracer.decisions("T") == {1: "abort"}
+
+
+class TestCapacityTruncate:
+    @pytest.mark.parametrize("columnar", [True, False])
+    def test_drops_new_records_past_capacity(self, columnar):
+        tracer = Tracer(capacity=4, columnar=columnar)
+        _fill(tracer, 10)
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        # the *first* four records survive
+        assert [r.time for r in tracer.records] == [0.0, 1.0, 2.0, 3.0]
+
+    @pytest.mark.parametrize("columnar", [True, False])
+    def test_capacity_zero_records_nothing(self, columnar):
+        tracer = Tracer(capacity=0, columnar=columnar)
+        _fill(tracer, 5)
+        assert len(tracer) == 0
+        assert tracer.dropped == 5
+        assert tracer.records == []
+        assert tracer.where(category="send") == []
+
+
+class TestRingBuffer:
+    def test_ring_requires_capacity_and_columnar(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Tracer(ring=True)
+        with pytest.raises(ValueError, match="columnar"):
+            Tracer(capacity=4, ring=True, columnar=False)
+
+    def test_keeps_newest_and_counts_evictions(self):
+        tracer = Tracer(capacity=4, ring=True)
+        _fill(tracer, 10)
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        # the *last* four records survive, oldest -> newest
+        assert [r.time for r in tracer.records] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_under_capacity_behaves_plainly(self):
+        tracer = Tracer(capacity=10, ring=True)
+        _fill(tracer, 6)
+        assert len(tracer) == 6
+        assert tracer.dropped == 0
+        assert [r.time for r in tracer.records] == [float(i) for i in range(6)]
+
+    def test_queries_after_wrap_match_surviving_window(self):
+        ring = Tracer(capacity=7, ring=True)
+        full = Tracer()
+        _fill(ring, 30)
+        _fill(full, 30)
+        survivors = full.records[-7:]
+        assert ring.records == survivors
+        assert ring.where(category="send") == [
+            r for r in survivors if r.category == "send"
+        ]
+        assert ring.count("state") == sum(1 for r in survivors if r.category == "state")
+        expected = {}
+        for r in survivors:
+            if r.category == "send":
+                expected[r.detail["mtype"]] = expected.get(r.detail["mtype"], 0) + 1
+        assert ring.message_counts() == expected
+
+    def test_interleaved_queries_and_wraps(self):
+        tracer = Tracer(capacity=3, ring=True)
+        tracer.record_send(1.0, 0, "T", "m", 1)
+        assert tracer.count("send") == 1
+        for t in (2.0, 3.0, 4.0, 5.0):
+            tracer.record_send(t, 0, "T", "m", 1)
+        assert tracer.count("send") == 3
+        assert [r.time for r in tracer.records] == [3.0, 4.0, 5.0]
+        assert tracer.dropped == 2
+
+
+class TestRecordRendering:
+    def test_str_shape(self):
+        rec = TraceRecord(2.0, 1, "send", "T1", {"mtype": "m", "dst": 3})
+        text = str(rec)
+        assert "send" in text and "T1" in text and "'mtype': 'm'" in text
+
+    def test_dump_subset(self):
+        tracer = Tracer()
+        _fill(tracer, 12)
+        subset = tracer.where(category="send")
+        assert tracer.dump(subset) == "\n".join(str(r) for r in subset)
