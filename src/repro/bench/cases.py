@@ -15,6 +15,11 @@ Representative workloads covered:
   episodes (:func:`~repro.experiments.workload_study.run_heavy_workload`).
 * ``wan_storm`` — E21: 32-site WAN region storms
   (:func:`~repro.workload.scenarios.run_wan_storm`).
+* ``skewed_contention`` / ``read_mostly`` / ``cross_region_txn`` /
+  ``elastic_join`` — E22–E25: the :class:`~repro.workload.spec.WorkloadSpec`
+  scenario drivers (Zipf skew, read-dominated mix, cross-region WAN
+  transactions, elastic membership under a partition storm), pinned
+  from day one (:mod:`repro.experiments.workload_scenarios`).
 * ``net_deliver_fanout`` — A/B microbench of the ``Network`` fan-out
   path: legacy per-message connectivity evaluation vs the
   partition-epoch reachable-peer cache.
@@ -196,6 +201,59 @@ def wan_storm_trial(seed: int, protocol: str, heal: bool) -> dict[str, Any]:
         **_cluster_counters(scenario.cluster),
     }
     return {"counters": counters, "timing": {"wall_s": wall}}
+
+
+# ----------------------------------------------------------------------
+# E22–E25 workload-spec scenarios
+# ----------------------------------------------------------------------
+
+
+def skewed_contention_trial(
+    seed: int, protocol: str, n_txns: int = 80, zipf_s: float = 1.4
+) -> dict[str, Any]:
+    """One E22 Zipf-contention run (hot-item conflicts are the point)."""
+    from repro.experiments.workload_scenarios import run_skewed_contention
+
+    t0 = time.perf_counter()
+    counters = run_skewed_contention(protocol, seed=seed, n_txns=n_txns, zipf_s=zipf_s)
+    return {"counters": counters, "timing": {"wall_s": time.perf_counter() - t0}}
+
+
+def read_mostly_trial(
+    seed: int, protocol: str, n_txns: int = 100, read_fraction: float = 0.8
+) -> dict[str, Any]:
+    """One E23 read-dominated-mix run."""
+    from repro.experiments.workload_scenarios import run_read_mostly
+
+    t0 = time.perf_counter()
+    counters = run_read_mostly(
+        protocol, seed=seed, n_txns=n_txns, read_fraction=read_fraction
+    )
+    return {"counters": counters, "timing": {"wall_s": time.perf_counter() - t0}}
+
+
+def cross_region_trial(
+    seed: int, protocol: str, n_txns: int = 40, cross_region: float = 0.6
+) -> dict[str, Any]:
+    """One E24 cross-region WAN-transaction run."""
+    from repro.experiments.workload_scenarios import run_cross_region
+
+    t0 = time.perf_counter()
+    counters = run_cross_region(
+        protocol, seed=seed, n_txns=n_txns, cross_region=cross_region
+    )
+    return {"counters": counters, "timing": {"wall_s": time.perf_counter() - t0}}
+
+
+def elastic_join_trial(
+    seed: int, protocol: str, n_txns: int = 60, n_joins: int = 3
+) -> dict[str, Any]:
+    """One E25 elastic-join-under-storm run."""
+    from repro.experiments.workload_scenarios import run_elastic_join
+
+    t0 = time.perf_counter()
+    counters = run_elastic_join(protocol, seed=seed, n_txns=n_txns, n_joins=n_joins)
+    return {"counters": counters, "timing": {"wall_s": time.perf_counter() - t0}}
 
 
 # ----------------------------------------------------------------------
@@ -629,6 +687,10 @@ _SCALES = {
         "churn_rounds": 120,
         "warm_sweeps": 6,
         "warm_runs": 8,
+        "skewed_txns": 80,
+        "read_mostly_txns": 100,
+        "cross_region_txns": 40,
+        "elastic_txns": 60,
         "repeats": 3,
     },
     "quick": {
@@ -646,6 +708,10 @@ _SCALES = {
         "churn_rounds": 6,
         "warm_sweeps": 2,
         "warm_runs": 3,
+        "skewed_txns": 16,
+        "read_mostly_txns": 20,
+        "cross_region_txns": 10,
+        "elastic_txns": 24,
         "repeats": 1,
     },
 }
@@ -703,6 +769,54 @@ def default_suite(scale: str = "full") -> BenchSuite:
                     grid={"protocol": ["qtp1", "qtp2"], "heal": [False, True]},
                     runs=1,
                     seeding="offset",
+                ),
+                repeats=repeats,
+            ),
+            BenchCase(
+                name="skewed_contention",
+                spec=SweepSpec(
+                    name="bench-skewed-contention",
+                    task=skewed_contention_trial,
+                    grid={"protocol": ["2pc", "qtp1"]},
+                    runs=2,
+                    seeding="offset",
+                    fixed={"n_txns": s["skewed_txns"]},
+                ),
+                repeats=repeats,
+            ),
+            BenchCase(
+                name="read_mostly",
+                spec=SweepSpec(
+                    name="bench-read-mostly",
+                    task=read_mostly_trial,
+                    grid={"protocol": ["2pc", "qtp1"]},
+                    runs=2,
+                    seeding="offset",
+                    fixed={"n_txns": s["read_mostly_txns"]},
+                ),
+                repeats=repeats,
+            ),
+            BenchCase(
+                name="cross_region_txn",
+                spec=SweepSpec(
+                    name="bench-cross-region-txn",
+                    task=cross_region_trial,
+                    grid={"protocol": ["qtp1", "qtp2"]},
+                    runs=2,
+                    seeding="offset",
+                    fixed={"n_txns": s["cross_region_txns"]},
+                ),
+                repeats=repeats,
+            ),
+            BenchCase(
+                name="elastic_join",
+                spec=SweepSpec(
+                    name="bench-elastic-join",
+                    task=elastic_join_trial,
+                    grid={"protocol": ["qtp1", "qtp2"]},
+                    runs=2,
+                    seeding="offset",
+                    fixed={"n_txns": s["elastic_txns"]},
                 ),
                 repeats=repeats,
             ),

@@ -112,8 +112,16 @@ class LockManager:
         that cannot lock the writeset copies right now votes 'no' rather
         than waiting — waiting during the vote would let one in-doubt
         transaction stall another's commit procedure.
+
+        This is the vote hot path: a refused probe allocates nothing —
+        a table entry is only created when the lock is actually granted.
         """
-        entry = self._entry(item)
+        entry = self._items.get(item)
+        if entry is None:  # unlocked item: grant installs the entry
+            entry = _ItemLocks()
+            entry.holders[txn] = mode
+            self._items[item] = entry
+            return True
         held = entry.holders.get(txn)
         if held is not None:
             if held is mode or held is LockMode.EXCLUSIVE:
@@ -131,20 +139,38 @@ class LockManager:
         """Release every lock held by ``txn``; returns the items released.
 
         Queued requests that become grantable are granted (and their
-        ``on_grant`` callbacks invoked) before returning.
+        ``on_grant`` callbacks invoked) before returning.  Every item
+        whose holder set *or* queue changed is woken: dropping an
+        ungranted request from the head of a queue can unblock the
+        waiters behind it (FIFO fairness kept them waiting on a request
+        that will now never be granted), so waking only the items the
+        transaction actually held would leave them blocked forever.
         """
         released = []
+        touched = []
         for item, entry in self._items.items():
+            changed = False
             if txn in entry.holders:
                 del entry.holders[txn]
                 released.append(item)
-            entry.queue = [r for r in entry.queue if r.txn != txn]
-        for item in released:
+                changed = True
+            if entry.queue and any(r.txn == txn for r in entry.queue):
+                entry.queue = [r for r in entry.queue if r.txn != txn]
+                changed = True
+            if changed:
+                touched.append(item)
+        for item in touched:
             self._wake(item)
+        # drop entries left with neither holders nor waiters, so that
+        # long sweeps probing many items do not grow the table forever
+        for item in touched:
+            entry = self._items[item]
+            if not entry.holders and not entry.queue:
+                del self._items[item]
         return released
 
     def _wake(self, item: str) -> None:
-        entry = self._entry(item)
+        entry = self._items[item]
         while entry.queue:
             head = entry.queue[0]
             upgrade_ok = (
@@ -169,7 +195,8 @@ class LockManager:
 
     def holder_modes(self, item: str) -> dict[str, LockMode]:
         """Current holders of ``item`` (txn -> mode)."""
-        return dict(self._items.get(item, _ItemLocks()).holders)
+        entry = self._items.get(item)
+        return dict(entry.holders) if entry is not None else {}
 
     def is_locked(self, item: str, blocking_txns: set[str] | None = None) -> bool:
         """Is ``item`` locked — optionally only by the given transactions?
@@ -177,16 +204,17 @@ class LockManager:
         The availability metric asks "is this copy locked by a *blocked*
         transaction"; passing the blocked set implements that question.
         """
-        holders = self._items.get(item)
-        if holders is None or not holders.holders:
+        entry = self._items.get(item)
+        if entry is None or not entry.holders:
             return False
         if blocking_txns is None:
             return True
-        return any(t in blocking_txns for t in holders.holders)
+        return any(t in blocking_txns for t in entry.holders)
 
     def waiting(self, item: str) -> list[LockRequest]:
         """The queued (ungranted) requests for ``item``."""
-        return list(self._items.get(item, _ItemLocks()).queue)
+        entry = self._items.get(item)
+        return list(entry.queue) if entry is not None else []
 
     def held_by(self, txn: str) -> list[str]:
         """All items on which ``txn`` currently holds a lock."""

@@ -41,7 +41,7 @@ from repro.protocols.twopc import CooperativeTerminationRule, TwoPCEngine
 from repro.replication.accessor import QuorumPlanner, ReadResult
 from repro.replication.catalog import ReplicaCatalog
 from repro.replication.missing_writes import MissingWritesTracker
-from repro.sim.failures import FailureInjector, FailurePlan
+from repro.sim.failures import FailureInjector, FailurePlan, JoinSite
 from repro.sim.rng import RngRegistry
 from repro.sim.scheduler import Scheduler
 from repro.sim.trace import Tracer
@@ -96,6 +96,7 @@ class Cluster:
             )
         self.catalog = catalog
         self.protocol = protocol
+        self._enforce_ignore_rules = enforce_ignore_rules
         self.scheduler = Scheduler()
         self.tracer = tracer if tracer is not None else Tracer()
         self.rng = RngRegistry(seed)
@@ -107,7 +108,9 @@ class Cluster:
         self._attach_engines(
             site_votes, commit_quorum, abort_quorum, primaries, enforce_ignore_rules
         )
-        self.injector = FailureInjector(self.scheduler, self.network)
+        self.injector = FailureInjector(
+            self.scheduler, self.network, membership=self._apply_join
+        )
         self.network.subscribe(self._on_connectivity_change)
         self._txns: dict[str, TxnHandle] = {}
         self._read_footprints: dict[str, dict[str, int]] = {}
@@ -359,6 +362,97 @@ class Cluster:
         for site in self.sites.values():
             if site.alive and site.engine is not None:
                 site.engine.kick()
+
+    # ------------------------------------------------------------------
+    # elastic membership
+    # ------------------------------------------------------------------
+
+    def join_site(
+        self,
+        site_id: int,
+        copies: Mapping[str, int] | None = None,
+        near: int | None = None,
+    ) -> Site:
+        """Register a brand-new site mid-run (elastic membership).
+
+        Builds the full database stack for the site — WAL, replica
+        store, lock manager and a protocol engine running this
+        cluster's protocol — admits its ``copies`` into the shared
+        catalog (quorums re-derived majority-style, see
+        :meth:`ReplicaCatalog.admit_site
+        <repro.replication.catalog.ReplicaCatalog.admit_site>`), and
+        registers it on the network.  An active partition is preserved:
+        the site joins as a singleton component unless ``near`` names
+        the site it is wired to, in which case it lands in ``near``'s
+        component.
+
+        Joined copies receive a component-local state transfer (the
+        newest reachable version; stale start at version 0 otherwise,
+        which version masking already handles), so the join never
+        *lowers* availability inside its component.  Commit protocols
+        need no special case — later transactions simply see a new
+        reachable participant with catalog votes.
+
+        Raises:
+            ConfigurationError: duplicate site id, unknown items, or a
+                join the catalog / quorum rule rejects.  A rejected
+                join leaves the cluster unchanged.
+        """
+        if site_id in self.sites:
+            raise ConfigurationError(f"site {site_id} already exists")
+        if near is not None and near not in self.sites:
+            raise ConfigurationError(f"cannot join near unknown site {near}")
+        copies = dict(copies or {})
+        if self.protocol == "skq":
+            # validate the vote admission before any state is built
+            self.skeen_rule.add_site(site_id)
+        try:
+            self.catalog.admit_site(site_id, copies)
+        except ConfigurationError:
+            if self.protocol == "skq":
+                self.skeen_rule.discard_site(site_id)
+            raise
+        site = Site(site_id, self.network, self.catalog)  # registers on the network
+        self.sites[site_id] = site
+        if near is not None:
+            self.network.place_with(site_id, near)
+        # component-local state transfer for the joined copies
+        for item in sorted(copies):
+            reachable = self.network.reachable_from(
+                site_id, self.catalog.sites_of(item)
+            )
+            best = None
+            for host in reachable:
+                if host == site_id:
+                    continue
+                record = self.sites[host].store.read(item)
+                if best is None or record.version > best.version:
+                    best = record
+            if best is not None and best.version > 0:
+                site.store.write(item, best.value, best.version)
+        engine_cls, rule, extra = self._engine_for(site)
+        engine = engine_cls(
+            node=site,
+            wal=site.wal,
+            catalog=self.catalog,
+            rule=rule,
+            hooks=SiteHooks(site),
+            enforce_ignore_rules=self._enforce_ignore_rules,
+            **extra,
+        )
+        site.attach_engine(engine)
+        self.tracer.record(
+            self.scheduler.now,
+            site_id,
+            "join",
+            copies=sorted(copies),
+            component=sorted(self.network.partition.component_of(site_id)),
+        )
+        return site
+
+    def _apply_join(self, action: JoinSite) -> None:
+        """The failure injector's membership hook (``FailurePlan.join``)."""
+        self.join_site(action.site, dict(action.copies), near=action.near)
 
     # ------------------------------------------------------------------
     # inspection

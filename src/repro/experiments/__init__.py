@@ -31,6 +31,12 @@ from repro.experiments.sweeps import (
     reenterability_storm,
 )
 from repro.experiments.vote_study import vote_assignment_study
+from repro.experiments.workload_scenarios import (
+    run_cross_region,
+    run_elastic_join,
+    run_read_mostly,
+    run_skewed_contention,
+)
 from repro.experiments.workload_study import run_workload, workload_study
 
 __all__ = [
@@ -43,6 +49,10 @@ __all__ = [
     "paired_comparison",
     "pairing_ablation",
     "reenterability_storm",
+    "run_cross_region",
+    "run_elastic_join",
+    "run_read_mostly",
+    "run_skewed_contention",
     "run_workload",
     "timeout_ablation",
     "vote_assignment_study",

@@ -27,10 +27,10 @@ from repro.engine import ResultStore, SweepSpec, run_sweep
 from repro.sim.failures import FailurePlan
 from repro.sim.rng import RngRegistry
 from repro.workload.generators import (
-    arrival_times,
     random_catalog,
     random_partition_groups,
 )
+from repro.workload.spec import WorkloadSpec
 
 
 @dataclass
@@ -46,6 +46,9 @@ class WorkloadResult:
     serializable: bool
     readable_fraction: float
     txn_outcomes: dict[str, str] = field(default_factory=dict)
+    #: read-only transactions that committed on the client-side fast
+    #: path (only nonzero for specs with a read fraction).
+    reads_committed: int = 0
 
     def format_row(self) -> str:
         """One aligned summary line for study tables."""
@@ -151,6 +154,7 @@ def _fold_workload_rows(outcome, protocol_of=lambda params: params["protocol"]) 
             total.blocked += result.blocked
             total.serializable &= result.serializable
             total.readable_fraction += result.readable_fraction / len(results)
+            total.reads_committed += result.reads_committed
         rows.append(total)
     return rows
 
@@ -192,6 +196,7 @@ def run_heavy_workload(
     episode_length: float = 30.0,
     gap: float = 20.0,
     probe: "Callable[[Cluster], None] | None" = None,
+    workload: WorkloadSpec | None = None,
 ) -> WorkloadResult:
     """E18 (extension) — heavy traffic through repeated partition episodes.
 
@@ -203,6 +208,16 @@ def run_heavy_workload(
     one-copy serializable and nothing may stay blocked after the final
     heal — measured here under real contention.
 
+    The transaction stream comes from a
+    :class:`~repro.workload.spec.WorkloadSpec`: the default spec
+    (uniform popularity, single-item read-modify-write, Poisson
+    arrivals from ``n_txns`` / ``mean_spacing``) replays the historical
+    stream draw-for-draw, and passing ``workload`` opens the other
+    regimes — Zipf skew, read-mostly mixes, wider footprints (the
+    spec's ``n_txns`` / spacing then replace the arguments).  Read-only
+    operations commit on the client-side fast path and are tallied in
+    ``reads_committed``.
+
     ``probe``, if given, is called with the finished :class:`Cluster`
     just before the result is assembled — the benchmark harness uses it
     to harvest network / WAL / scheduler counters without widening the
@@ -211,6 +226,10 @@ def run_heavy_workload(
     registry = RngRegistry(seed)
     rng = registry.stream("heavy-workload")
     catalog = random_catalog(rng, n_sites=n_sites, n_items=n_items, replication=replication)
+    spec = workload if workload is not None else WorkloadSpec(
+        n_txns=n_txns, mean_spacing=mean_spacing
+    )
+    compiled = spec.compile(catalog)
     cluster = Cluster(catalog, protocol=protocol, seed=seed)
     plan = FailurePlan()
     t = gap
@@ -225,14 +244,20 @@ def run_heavy_workload(
     handles: dict[str, object] = {}
 
     def submit_one(index: int) -> None:
-        item = rng.choice(catalog.item_names)
-        origin = rng.choice(catalog.sites_of(item))
-        if not cluster.sites[origin].alive:
+        op = compiled.next_op(rng)
+        if not cluster.sites[op.origin].alive:
             return
-        txn = cluster.transaction(origin)
+        txn = cluster.transaction(op.origin)
         try:
-            value = txn.read(item)
-            txn.write(item, value + 1)
+            if op.kind == "read":
+                for item in op.items:
+                    txn.read(item)
+                txn.submit()  # read-only: client-side commit
+                outcomes[txn.txn] = "read-committed"
+                return
+            for item in op.items:
+                value = txn.read(item)
+                txn.write(item, value + 1)
             handle = txn.submit()
         except TransactionAborted:
             outcomes[txn.txn] = "client-aborted"
@@ -243,7 +268,7 @@ def run_heavy_workload(
             return
         handles[handle.txn] = handle
 
-    for i, at in enumerate(arrival_times(rng, n_txns, mean_spacing=mean_spacing)):
+    for i, at in enumerate(compiled.arrivals(rng)):
         cluster.scheduler.call_at(at, submit_one, i)
     cluster.run()
 
@@ -259,6 +284,7 @@ def run_heavy_workload(
             blocked += 1
         outcomes[txn] = outcome
     client_aborted = sum(1 for o in outcomes.values() if o == "client-aborted")
+    reads_committed = sum(1 for o in outcomes.values() if o == "read-committed")
 
     if probe is not None:
         probe(cluster)
@@ -273,6 +299,7 @@ def run_heavy_workload(
         serializable=ConflictGraph(history).is_serializable(),
         readable_fraction=cluster.availability().readable_fraction,
         txn_outcomes=outcomes,
+        reads_committed=reads_committed,
     )
 
 

@@ -114,13 +114,52 @@ class Network:
     # ------------------------------------------------------------------
 
     def register(self, node: "Node") -> None:
-        """Add a node to the universe (rebuilds the connectivity view)."""
+        """Add a node to the universe (rebuilds the connectivity view).
+
+        An active partition is preserved: the existing components stay
+        exactly as they are and the new node starts as a singleton
+        component (a site joining mid-partition cannot conjure links to
+        anyone — use :meth:`place_with` to land it in a component).  On
+        a healed network the node simply joins the universal component.
+        """
         if node.node_id in self._nodes:
             raise ValueError(f"duplicate node id {node.node_id}")
+        was_partitioned = self._partition.is_partitioned
+        groups = (
+            tuple(tuple(c) for c in self._partition.sorted_components())
+            if was_partitioned
+            else None
+        )
         self._nodes[node.node_id] = node
         self._view_cache.clear()  # interned views are universe-specific
-        self._partition = self._interned_view(None)
+        # unlisted sites become singletons, so the new node lands alone
+        self._partition = self._interned_view(groups)
         self._bump_epoch()
+
+    def place_with(self, site: int, near: int) -> None:
+        """Move ``site`` into ``near``'s partition component.
+
+        The elastic-membership hook: a site joining mid-partition is
+        registered as a singleton, then placed into the component it is
+        physically wired to.  A no-op when the two already share a
+        component (in particular on a healed network).
+        """
+        component = self._partition.component_of(near)  # raises on unknown near
+        if site in component:
+            return
+        self._partition.component_of(site)  # raises on unknown site
+        groups = []
+        for members in self._partition.sorted_components():
+            kept = [s for s in members if s != site]
+            if near in members:
+                kept.append(site)
+            if kept:
+                groups.append(tuple(kept))
+        self._partition = self._interned_view(tuple(groups))
+        self._bump_epoch()
+        self._tracer.record(
+            self._scheduler.now, GLOBAL_SITE, "place", moved=site, near=near
+        )
 
     @property
     def epoch(self) -> int:

@@ -80,6 +80,35 @@ class SkeenQuorumRule(TerminationRule):
         self.vc = vc
         self.va = va
 
+    def add_site(self, site: int, votes: int = 1) -> None:
+        """Admit a joining site's votes (elastic membership).
+
+        Adaptive (per-transaction) quorums simply see the larger pool.
+        Explicitly pinned quorums must keep covering the installation:
+        growing the total would let ``Vc + Va <= V``, so a pinned rule
+        rejects joins rather than silently weakening itself.
+
+        Raises:
+            ConfigurationError: non-positive votes, a duplicate site, or
+                pinned quorums that the enlarged total would invalidate.
+        """
+        if votes <= 0:
+            raise ConfigurationError(f"site {site} votes must be positive")
+        if site in self._votes:
+            raise ConfigurationError(f"site {site} already holds votes")
+        if self.vc is not None and self.va is not None:
+            total = sum(self._votes.values()) + votes
+            if self.vc + self.va <= total:
+                raise ConfigurationError(
+                    f"admitting site {site} raises the vote total to {total}, "
+                    f"invalidating the pinned quorums Vc={self.vc}, Va={self.va}"
+                )
+        self._votes[site] = votes
+
+    def discard_site(self, site: int) -> None:
+        """Withdraw a site's votes (rollback of a failed join)."""
+        self._votes.pop(site, None)
+
     def _weight(self, sites: Iterable[int]) -> int:
         return sum(self._votes.get(s, 0) for s in set(sites))
 

@@ -69,7 +69,15 @@ class ItemConfig:
 
 
 class ReplicaCatalog:
-    """Immutable map of items to their placement and quorum sizes."""
+    """Map of items to their placement and quorum sizes.
+
+    Immutable in normal operation — every layer reads it live.  The one
+    sanctioned mutation is :meth:`admit_site` (elastic membership): a
+    site joining mid-run adds copies, and because the protocol engines
+    and quorum planners all hold *this* object, they see the enlarged
+    placement the moment it lands — a joined site is simply a new
+    reachable participant.
+    """
 
     def __init__(self, items: Iterable[ItemConfig]) -> None:
         self._items: dict[str, ItemConfig] = {}
@@ -142,6 +150,54 @@ class ReplicaCatalog:
     def has_write_quorum(self, item: str, sites: Iterable[int]) -> bool:
         """Do ``sites`` hold at least w(x) votes for ``item``?"""
         return self.votes(item, sites) >= self.w(item)
+
+    # ------------------------------------------------------------------
+    # elastic membership
+    # ------------------------------------------------------------------
+
+    def admit_site(
+        self,
+        site: int,
+        copies: Mapping[str, int],
+        rebalance: bool = True,
+    ) -> None:
+        """Add a joining site's copies to existing items, in place.
+
+        With ``rebalance=True`` (default) each touched item's quorums
+        are re-derived majority-style over the enlarged vote total
+        (``w = v//2 + 1``, ``r = v - w + 1`` — the same defaults
+        :meth:`CatalogBuilder.replicated_item` uses), so the Gifford
+        constraints hold by construction.  With ``rebalance=False`` the
+        old quorums are kept and re-validated — the join is rejected if
+        the added votes break ``r + w > v`` or ``2w > v``.
+
+        Either way validation runs *before* any item is touched, so a
+        rejected join leaves the catalog unchanged.
+
+        Raises:
+            ConfigurationError: unknown item, non-positive votes, a
+                duplicate copy, or (``rebalance=False``) broken quorum
+                constraints.
+        """
+        updated: dict[str, ItemConfig] = {}
+        for item in sorted(copies):
+            votes = copies[item]
+            config = self.item(item)
+            if site in config.copies:
+                raise ConfigurationError(
+                    f"site {site} already hosts a copy of {item!r}"
+                )
+            new_copies = {**config.copies, site: votes}
+            v = sum(new_copies.values())
+            if rebalance:
+                w = v // 2 + 1
+                r = v - w + 1
+            else:
+                r, w = config.read_quorum, config.write_quorum
+            candidate = ItemConfig(item, new_copies, r, w)
+            candidate.validate()
+            updated[item] = candidate
+        self._items.update(updated)
 
 
 class CatalogBuilder:

@@ -14,7 +14,7 @@ them alongside results, and replay any interesting one exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.network import Network
@@ -71,7 +71,31 @@ class SetLinkLoss:
     p: float
 
 
-FailureAction = CrashSite | RecoverSite | PartitionNetwork | HealNetwork | SetLinkLoss
+@dataclass(frozen=True)
+class JoinSite:
+    """Register a brand-new site at ``time`` (elastic membership).
+
+    ``copies`` lists the (item, votes) pairs the joining site
+    contributes to the replica catalog (empty: a pure coordinator).
+    ``near`` names an existing site whose partition component the new
+    site is wired into; ``None`` leaves it wherever registration puts
+    it — the universal component on a healed network, a singleton
+    under an active partition.
+
+    Unlike the fault actions, a join needs the *database* layer (WAL,
+    store, lock manager, protocol engine, catalog), so the injector
+    delegates it to a membership handler — the cluster wires one in.
+    """
+
+    time: float
+    site: int
+    copies: tuple[tuple[str, int], ...] = ()
+    near: int | None = None
+
+
+FailureAction = (
+    CrashSite | RecoverSite | PartitionNetwork | HealNetwork | SetLinkLoss | JoinSite
+)
 
 
 @dataclass
@@ -110,6 +134,24 @@ class FailurePlan:
         """Sever the link in both directions."""
         return self.sever(time, a, b, p).sever(time, b, a, p)
 
+    def join(
+        self,
+        time: float,
+        site: int,
+        copies: Mapping[str, int] | None = None,
+        near: int | None = None,
+    ) -> "FailurePlan":
+        """Append an elastic-membership join; returns self for chaining.
+
+        ``copies`` maps item name to the votes the joining copy holds;
+        ``near`` places the new site into an existing site's partition
+        component (it joins as a singleton otherwise while the network
+        is partitioned).
+        """
+        frozen = tuple(sorted((copies or {}).items()))
+        self.actions.append(JoinSite(time, site, frozen, near))
+        return self
+
     def __len__(self) -> int:
         return len(self.actions)
 
@@ -126,9 +168,26 @@ class FailureInjector:
     reusable by every protocol and experiment.
     """
 
-    def __init__(self, scheduler: "Scheduler", network: "Network") -> None:
+    def __init__(
+        self,
+        scheduler: "Scheduler",
+        network: "Network",
+        membership: Callable[[JoinSite], None] | None = None,
+    ) -> None:
+        """Wire the injector.
+
+        Args:
+            scheduler: the run's scheduler.
+            network: the network facade faults apply to.
+            membership: handler for :class:`JoinSite` actions (joins
+                build database state the network knows nothing about;
+                :class:`~repro.db.cluster.Cluster` passes its
+                ``join_site``).  Plans containing joins fail to apply
+                without one.
+        """
         self._scheduler = scheduler
         self._network = network
+        self._membership = membership
         self.applied: list[FailureAction] = []
 
     def arm(self, plan: FailurePlan) -> None:
@@ -151,6 +210,13 @@ class FailureInjector:
             net.heal()
         elif isinstance(action, SetLinkLoss):
             net.set_link_loss(action.src, action.dst, action.p)
+        elif isinstance(action, JoinSite):
+            if self._membership is None:
+                raise TypeError(
+                    "JoinSite actions need a membership handler; arm the plan "
+                    "through a Cluster (or pass membership= to the injector)"
+                )
+            self._membership(action)
         else:  # pragma: no cover - exhaustive
             raise TypeError(f"unknown failure action {action!r}")
         self.applied.append(action)

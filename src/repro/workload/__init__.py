@@ -1,5 +1,8 @@
 """Workload and scenario generation (system S20).
 
+* :mod:`repro.workload.spec` — declarative :class:`WorkloadSpec`
+  (item popularity, read:write mix, footprint, arrivals, cross-region
+  pattern) compiling to the generator callables the drivers consume.
 * :mod:`repro.workload.scenarios` — the paper's worked examples
   (Examples 1–4 with Figs. 3 and 7) as parameterized, runnable
   scenarios shared by the tests, benchmarks and examples.
@@ -21,9 +24,13 @@ from repro.workload.scenarios import (
     run_example1_scenario,
     run_example3_scenario,
 )
+from repro.workload.spec import CompiledWorkload, WorkloadOp, WorkloadSpec
 
 __all__ = [
+    "CompiledWorkload",
     "ScenarioResult",
+    "WorkloadOp",
+    "WorkloadSpec",
     "example1_catalog",
     "example3_catalog",
     "random_catalog",

@@ -111,6 +111,31 @@ def wan_catalog(
     return builder.build()
 
 
+def _deal_stragglers(
+    rng: random.Random,
+    components: list[list[int]],
+    straggler_prob: float,
+) -> list[tuple[int, int, int]]:
+    """Decide straggler defections in one pass over the pre-storm deal.
+
+    Returns ``(site, src_component, dst_component)`` moves.  Every site
+    gets exactly one defection draw, judged against the component it was
+    *dealt* into — deciding while mutating the components (the old code)
+    let a site that defected into a later component be drawn again when
+    that component was processed, biasing the straggler rate upward.
+    """
+    n_components = len(components)
+    moves: list[tuple[int, int, int]] = []
+    for c, component in enumerate(components):
+        if len(component) <= 1:
+            continue  # a singleton component has nobody to defect from
+        for site in component:
+            if rng.random() < straggler_prob:
+                dst = rng.choice([j for j in range(n_components) if j != c])
+                moves.append((site, c, dst))
+    return moves
+
+
 def region_storm_plan(
     rng: random.Random,
     regions: list[list[int]],
@@ -125,9 +150,12 @@ def region_storm_plan(
     Each wave cuts the installation along region boundaries: the
     regions are dealt into 2–4 components, and with probability
     ``straggler_prob`` a site defects to a random other component —
-    WAN partitions follow backbone links, but never perfectly.  Waves
-    land while the previous termination attempt is still in flight, so
-    protocols re-enter exactly as in E13, at installation scale.
+    WAN partitions follow backbone links, but never perfectly.  All
+    defections are decided in a single pass over the pre-storm deal
+    (see :func:`_deal_stragglers`), so every site defects at most once
+    per wave.  Waves land while the previous termination attempt is
+    still in flight, so protocols re-enter exactly as in E13, at
+    installation scale.
     """
     plan = FailurePlan()
     t = first_at
@@ -136,11 +164,9 @@ def region_storm_plan(
         components: list[list[int]] = [[] for _ in range(n_components)]
         for idx, region in enumerate(rng.sample(regions, len(regions))):
             components[idx % n_components].extend(region)
-        for c, component in enumerate(components):
-            for site in list(component):
-                if len(component) > 1 and rng.random() < straggler_prob:
-                    component.remove(site)
-                    components[rng.choice([j for j in range(n_components) if j != c])].append(site)
+        for site, src, dst in _deal_stragglers(rng, components, straggler_prob):
+            components[src].remove(site)
+            components[dst].append(site)
         plan.partition(t, *[sorted(c) for c in components if c])
         t += rng.uniform(*wave_spacing)
     if heal:

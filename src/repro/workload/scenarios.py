@@ -31,11 +31,11 @@ from repro.replication.catalog import CatalogBuilder, ReplicaCatalog
 from repro.sim.failures import FailurePlan
 from repro.sim.rng import RngRegistry
 from repro.workload.generators import (
-    random_update,
     region_storm_plan,
     wan_catalog,
     wan_regions,
 )
+from repro.workload.spec import WorkloadSpec
 
 #: the partition of Examples 1, 2 and 4 (Fig. 3).
 EXAMPLE1_GROUPS = ([1, 2, 3], [4, 5], [6, 7, 8])
@@ -140,6 +140,7 @@ def run_wan_storm(
     region_replication: int = 3,
     waves: int = 4,
     heal: bool = False,
+    workload: WorkloadSpec | None = None,
 ) -> ScenarioResult:
     """A 32+-site WAN installation under a region-wise partition storm.
 
@@ -149,6 +150,12 @@ def run_wan_storm(
     stragglers) through the in-flight termination.  The scaled-up
     sibling of the Fig. 3 scenario: same questions — who terminates,
     what stays accessible — at installation scale.
+
+    The update comes from a :class:`~repro.workload.spec.WorkloadSpec`
+    compiled against the WAN catalog and region layout; the default
+    spec (uniform popularity, 1–3 item footprint) replays the
+    historical ``random_update`` stream draw-for-draw, and passing
+    ``workload`` skews the pick or forces a cross-region origin.
 
     With ``heal=False`` (default) the storm ends partitioned, so
     availability reflects what termination salvaged *inside* the final
@@ -168,7 +175,8 @@ def run_wan_storm(
     regions = wan_regions(n_regions, sites_per_region)
     all_sites = [s for region in regions for s in region]
     cluster = Cluster(catalog, protocol=protocol, seed=seed, extra_sites=all_sites)
-    origin, writes = random_update(rng, catalog, max_items=3)
+    spec = workload if workload is not None else WorkloadSpec(n_txns=1, footprint=(1, 3))
+    origin, writes = spec.compile(catalog, regions).next_update(rng)
     txn = cluster.update(origin, writes)
     plan = region_storm_plan(rng, regions, waves=waves, heal=heal)
     plan.crash(rng.uniform(1.0, 2.5), origin)

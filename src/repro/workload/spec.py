@@ -1,0 +1,292 @@
+"""Declarative workload specifications.
+
+A :class:`WorkloadSpec` describes *what* a transaction stream looks
+like — item popularity (uniform or Zipf), read:write mix, transaction
+footprint, arrival process, and an optional cross-region access pattern
+— independently of *which* driver runs it.  :meth:`WorkloadSpec.compile`
+binds the spec to a concrete catalog (and, for cross-region patterns,
+to the :func:`~repro.workload.generators.wan_regions` layout) and
+returns a :class:`CompiledWorkload` whose methods are exactly the
+generator callables the experiment drivers consume.
+
+Determinism contract
+--------------------
+
+Every method draws from the caller's ``random.Random`` in a documented
+order, and **the default spec shapes replay the historical generators'
+draw sequences bit-for-bit**:
+
+* ``footprint=(1, 1)`` with uniform popularity picks the single item
+  with one ``rng.choice`` — the exact stream of the pre-spec E17/E18
+  drivers' ``rng.choice(catalog.item_names)``.
+* a ranged footprint with uniform popularity draws
+  ``rng.randint(lo, min(hi, n_items))`` then ``rng.sample`` — the exact
+  stream of :func:`~repro.workload.generators.random_update`.
+* the origin is ``rng.choice(sites_of(first_item))`` ("issue where the
+  data lives"), unless a cross-region draw redirects it.
+* optional draws (read/write split, cross-region split) are only taken
+  when their knob is nonzero, so enabling a feature never shifts the
+  stream of a spec that does not use it.
+
+This is what lets E18 and E21 run on specs while their committed
+``BENCH_*.json`` trajectories stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.replication.catalog import ReplicaCatalog
+from repro.workload.generators import arrival_times
+
+#: item-popularity distributions a spec may choose from.
+POPULARITY_MODES = ("uniform", "zipf")
+
+#: arrival processes a spec may choose from.
+ARRIVAL_MODES = ("poisson", "fixed")
+
+
+@dataclass(frozen=True)
+class WorkloadOp:
+    """One generated client operation.
+
+    ``kind`` is ``"read"`` (a read-only transaction over ``items``) or
+    ``"update"`` (read-modify-write over ``items``).  ``origin`` is the
+    site the client issues from.
+    """
+
+    kind: str
+    items: tuple[str, ...]
+    origin: int
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A declarative transaction workload.
+
+    Args:
+        n_txns: transactions in the stream.
+        popularity: ``"uniform"`` or ``"zipf"`` item popularity.  Zipf
+            ranks items in ``catalog.item_names`` order: the first item
+            is the hottest, with weight ``1 / rank**zipf_s``.
+        zipf_s: Zipf skew exponent (larger = more skew).
+        read_fraction: fraction of read-only transactions (drawn per
+            operation; 0 disables the draw entirely).
+        footprint: ``(lo, hi)`` items per update transaction.  ``(1, 1)``
+            uses the single-``choice`` stream; a ranged footprint draws
+            ``randint`` + ``sample`` (the ``random_update`` stream).
+        arrival: ``"poisson"`` (open stream, exponential spacing) or
+            ``"fixed"`` (closed, evenly spaced).
+        mean_spacing: mean (poisson) or exact (fixed) inter-arrival gap.
+        start: virtual time of the first arrival.
+        cross_region: probability an operation originates in a region
+            hosting *no copy* of its first item — cross-region quorum
+            traffic.  Requires ``regions`` at compile time; 0 disables
+            the draw entirely.
+        value_pool: value range for direct-update drivers
+            (``rng.randrange(value_pool)`` per written item).
+    """
+
+    n_txns: int = 60
+    popularity: str = "uniform"
+    zipf_s: float = 1.2
+    read_fraction: float = 0.0
+    footprint: tuple[int, int] = (1, 1)
+    arrival: str = "poisson"
+    mean_spacing: float = 1.5
+    start: float = 1.0
+    cross_region: float = 0.0
+    value_pool: int = 1000
+
+    def __post_init__(self) -> None:
+        if self.n_txns < 1:
+            raise ConfigurationError(f"n_txns must be >= 1, got {self.n_txns}")
+        if self.popularity not in POPULARITY_MODES:
+            raise ConfigurationError(
+                f"popularity must be one of {POPULARITY_MODES}, got {self.popularity!r}"
+            )
+        if self.zipf_s <= 0:
+            raise ConfigurationError(f"zipf_s must be positive, got {self.zipf_s}")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ConfigurationError(
+                f"read_fraction {self.read_fraction} outside [0, 1]"
+            )
+        lo, hi = self.footprint
+        if lo < 1 or hi < lo:
+            raise ConfigurationError(
+                f"footprint must satisfy 1 <= lo <= hi, got {self.footprint}"
+            )
+        if self.arrival not in ARRIVAL_MODES:
+            raise ConfigurationError(
+                f"arrival must be one of {ARRIVAL_MODES}, got {self.arrival!r}"
+            )
+        if self.mean_spacing <= 0:
+            raise ConfigurationError(
+                f"mean_spacing must be positive, got {self.mean_spacing}"
+            )
+        if not 0.0 <= self.cross_region <= 1.0:
+            raise ConfigurationError(
+                f"cross_region {self.cross_region} outside [0, 1]"
+            )
+        if self.value_pool < 1:
+            raise ConfigurationError(f"value_pool must be >= 1, got {self.value_pool}")
+
+    def compile(
+        self,
+        catalog: ReplicaCatalog,
+        regions: Sequence[Sequence[int]] | None = None,
+    ) -> "CompiledWorkload":
+        """Bind the spec to a catalog (and optionally a region layout)."""
+        if self.cross_region > 0 and regions is None:
+            raise ConfigurationError(
+                "cross_region > 0 needs the wan_regions layout at compile time"
+            )
+        return CompiledWorkload(self, catalog, regions)
+
+    def describe(self) -> str:
+        """One line for experiment logs."""
+        parts = [f"n={self.n_txns}", self.popularity]
+        if self.popularity == "zipf":
+            parts.append(f"s={self.zipf_s:g}")
+        if self.read_fraction:
+            parts.append(f"reads={self.read_fraction:.0%}")
+        parts.append(f"footprint={self.footprint[0]}-{self.footprint[1]}")
+        parts.append(f"{self.arrival}@{self.mean_spacing:g}")
+        if self.cross_region:
+            parts.append(f"cross-region={self.cross_region:.0%}")
+        return " ".join(parts)
+
+
+class CompiledWorkload:
+    """A :class:`WorkloadSpec` bound to a catalog; the drivers' generator.
+
+    Create via :meth:`WorkloadSpec.compile`.  All state is immutable
+    after construction; the methods draw only from the ``rng`` passed
+    in, so one compiled workload can serve any number of runs.
+    """
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        catalog: ReplicaCatalog,
+        regions: Sequence[Sequence[int]] | None,
+    ) -> None:
+        self.spec = spec
+        self.catalog = catalog
+        self._names = catalog.item_names
+        if spec.popularity == "zipf":
+            self._weights = [
+                1.0 / (rank**spec.zipf_s) for rank in range(1, len(self._names) + 1)
+            ]
+        else:
+            self._weights = None
+        # per-item foreign-site pools for the cross-region pattern: all
+        # sites of regions hosting no copy of the item.
+        self._foreign: dict[str, list[int]] = {}
+        if regions is not None:
+            for item in self._names:
+                hosts = set(catalog.sites_of(item))
+                self._foreign[item] = sorted(
+                    site
+                    for region in regions
+                    if not hosts & set(region)
+                    for site in region
+                )
+
+    # ------------------------------------------------------------------
+    # arrivals
+    # ------------------------------------------------------------------
+
+    def arrivals(self, rng: random.Random) -> list[float]:
+        """The stream's arrival times (poisson draws; fixed draws none)."""
+        spec = self.spec
+        if spec.arrival == "poisson":
+            return arrival_times(
+                rng, spec.n_txns, mean_spacing=spec.mean_spacing, start=spec.start
+            )
+        return [spec.start + i * spec.mean_spacing for i in range(spec.n_txns)]
+
+    # ------------------------------------------------------------------
+    # item / origin selection
+    # ------------------------------------------------------------------
+
+    def _weighted_pick(self, rng: random.Random, names: list[str], weights: list[float]) -> int:
+        """Index of one weighted draw (one ``rng.random()``)."""
+        x = rng.random() * sum(weights)
+        acc = 0.0
+        for i, weight in enumerate(weights):
+            acc += weight
+            if x < acc:
+                return i
+        return len(names) - 1
+
+    def pick_item(self, rng: random.Random) -> str:
+        """One item by popularity (uniform: one ``choice``; zipf: one
+        ``random``)."""
+        if self._weights is None:
+            return rng.choice(self._names)
+        return self._names[self._weighted_pick(rng, self._names, self._weights)]
+
+    def pick_items(self, rng: random.Random) -> list[str]:
+        """An update transaction's item footprint, first item first."""
+        lo, hi = self.spec.footprint
+        if (lo, hi) == (1, 1):
+            return [self.pick_item(rng)]
+        n = rng.randint(lo, min(hi, len(self._names)))
+        if self._weights is None:
+            return rng.sample(self._names, n)
+        names = list(self._names)
+        weights = list(self._weights)
+        picked = []
+        for __ in range(n):  # weighted, without replacement
+            i = self._weighted_pick(rng, names, weights)
+            picked.append(names.pop(i))
+            weights.pop(i)
+        return picked
+
+    def pick_origin(self, rng: random.Random, items: Sequence[str]) -> int:
+        """The issuing site for ``items``.
+
+        Default: a random host of the first item ("issue where the data
+        lives").  With ``cross_region`` enabled, first one draw decides
+        whether this operation crosses regions; if it does (and some
+        region hosts no copy), the origin comes from such a region and
+        every quorum the transaction needs is remote.
+        """
+        item = items[0]
+        if self.spec.cross_region > 0:
+            spanning = rng.random() < self.spec.cross_region
+            foreign = self._foreign.get(item, [])
+            if spanning and foreign:
+                return rng.choice(foreign)
+        return rng.choice(self.catalog.sites_of(item))
+
+    # ------------------------------------------------------------------
+    # the driver-facing sampler
+    # ------------------------------------------------------------------
+
+    def next_op(self, rng: random.Random) -> WorkloadOp:
+        """The next client operation (read/update split, items, origin)."""
+        spec = self.spec
+        if spec.read_fraction > 0 and rng.random() < spec.read_fraction:
+            items = [self.pick_item(rng)]
+            return WorkloadOp("read", tuple(items), self.pick_origin(rng, items))
+        items = self.pick_items(rng)
+        return WorkloadOp("update", tuple(items), self.pick_origin(rng, items))
+
+    def next_update(self, rng: random.Random) -> tuple[int, dict[str, Any]]:
+        """A direct update: ``(origin, item -> new value)``.
+
+        With a uniform ranged footprint and no cross-region pattern this
+        is draw-for-draw :func:`~repro.workload.generators.random_update`
+        (the E21 stream).
+        """
+        items = self.pick_items(rng)
+        origin = self.pick_origin(rng, items)
+        return origin, {item: rng.randrange(self.spec.value_pool) for item in items}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CompiledWorkload {self.spec.describe()} items={len(self._names)}>"

@@ -41,6 +41,9 @@ class TestExampleScripts:
     def test_availability_study_small(self):
         run_script(f"{EXAMPLES}/availability_study.py", ["--runs", "8"])
 
+    def test_elastic_workloads(self):
+        run_script(f"{EXAMPLES}/elastic_workloads.py")
+
     def test_parallel_sweep(self, tmp_path, monkeypatch):
         # chdir so the example's ResultStore("results") lands in tmp
         import os

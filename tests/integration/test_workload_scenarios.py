@@ -1,0 +1,113 @@
+"""Integration tests for the E22–E25 WorkloadSpec scenario drivers."""
+
+import pytest
+
+from repro.experiments.workload_scenarios import (
+    run_cross_region,
+    run_elastic_join,
+    run_read_mostly,
+    run_skewed_contention,
+)
+from repro.experiments.workload_study import run_heavy_workload
+from repro.workload.spec import WorkloadSpec
+
+
+class TestSkewedContention:
+    def test_zipf_opens_contention_uniform_cannot_reach(self):
+        """The whole point of the regime: the same harness under Zipf
+        popularity collides far more often than under uniform."""
+        skewed = run_skewed_contention("qtp1", seed=0, n_txns=60, zipf_s=1.6)
+        uniform = run_heavy_workload("qtp1", seed=0, n_txns=60, mean_spacing=1.2)
+        assert skewed["client_aborted"] > 2 * uniform.client_aborted
+        assert skewed["submitted"] == 60
+        assert skewed["serializable"]
+
+    def test_hot_item_draws_the_stream(self):
+        out = run_skewed_contention("2pc", seed=1, n_txns=60, zipf_s=1.6)
+        # among the transactions that made it past the no-wait client
+        # (most hot-item ones abort right there), the rank-1 item still
+        # draws far more than the uniform 1/n_items share
+        protocol_txns = out["committed"] + out["protocol_aborted"] + out["blocked"]
+        assert out["hot_txns"] > protocol_txns * 0.25
+
+
+class TestReadMostly:
+    def test_reads_ride_the_fast_path(self):
+        out = run_read_mostly("qtp1", seed=0, n_txns=60, read_fraction=0.8)
+        # ~80% of the stream is read-only; under contention a share of
+        # those no-wait reads abort on conflicting update locks
+        assert out["reads_committed"] > 20
+        assert out["reads_committed"] > out["committed"]
+        assert out["committed"] > 0  # the update tail still commits
+        assert out["serializable"]
+
+    def test_zero_read_fraction_degenerates_to_heavy_workload(self):
+        spec = WorkloadSpec(n_txns=30, read_fraction=0.0, mean_spacing=1.0)
+        via_spec = run_heavy_workload("qtp1", seed=3, workload=spec)
+        direct = run_heavy_workload("qtp1", seed=3, n_txns=30, mean_spacing=1.0)
+        assert via_spec.txn_outcomes == direct.txn_outcomes
+
+
+class TestCrossRegion:
+    def test_spanning_slice_originates_remotely(self):
+        out = run_cross_region("qtp1", seed=0, n_txns=30, cross_region=1.0)
+        assert out["cross_origin"] > 20  # nearly every op is cross-region
+        assert out["submitted"] == 30
+
+    def test_region_partition_refuses_remote_quorums(self):
+        cut = run_cross_region("qtp1", seed=0, n_txns=30, cross_region=1.0)
+        calm = run_cross_region(
+            "qtp1", seed=0, n_txns=30, cross_region=1.0,
+            partition_window=(1000.0, 1001.0),  # effectively never
+        )
+        assert cut["refused"] > calm["refused"]
+
+    def test_home_traffic_still_commits(self):
+        out = run_cross_region("qtp1", seed=2, n_txns=30, cross_region=0.3)
+        assert out["committed"] > 0
+
+
+class TestElasticJoin:
+    def test_joins_apply_and_enlist_participants(self):
+        out = run_elastic_join("qtp1", seed=0, n_txns=60, n_joins=3)
+        assert out["joins_applied"] == 3
+        assert out["joined_hosting"] == 3 * 2  # every joiner hosts both hot items
+        assert out["participants_with_joined"] > 0
+        assert out["serializable"]
+
+    def test_consistent_across_protocols(self):
+        for protocol in ("qtp1", "qtp2", "2pc"):
+            out = run_elastic_join(protocol, seed=1, n_txns=40, n_joins=2)
+            assert out["joins_applied"] == 2
+            assert out["serializable"], protocol
+
+    def test_deterministic_in_seed(self):
+        a = run_elastic_join("qtp1", seed=5)
+        b = run_elastic_join("qtp1", seed=5)
+        assert a == b
+
+
+@pytest.mark.slow
+class TestScenarioDeepSweep:
+    """Weekly deep run: every driver across many seeds and protocols —
+    1SR must hold in every single run, and elastic joins must always
+    land cleanly."""
+
+    def test_serializable_across_seeds_and_protocols(self):
+        for seed in range(8):
+            for protocol in ("2pc", "qtp1", "qtp2"):
+                skewed = run_skewed_contention(protocol, seed=seed, n_txns=40)
+                assert skewed["serializable"], (protocol, seed)
+                mixed = run_read_mostly(protocol, seed=seed, n_txns=40)
+                assert mixed["serializable"], (protocol, seed)
+                elastic = run_elastic_join(protocol, seed=seed, n_txns=40)
+                assert elastic["serializable"], (protocol, seed)
+                assert elastic["joins_applied"] == 3, (protocol, seed)
+
+    def test_cross_region_never_pins_locks_forever(self):
+        """A stranded cross-region coordinator may leave a transaction
+        undecided (no participant ever durably joined), but after the
+        final heal nothing may stay blocked *holding locks*."""
+        for seed in range(8):
+            out = run_cross_region("qtp1", seed=seed, n_txns=30)
+            assert out["blocked_holding_locks"] == 0, seed

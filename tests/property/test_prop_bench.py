@@ -29,6 +29,10 @@ QUICK_CASES = [
     "trace_record",
     "partition_churn",
     "suite_warm_pool",
+    "skewed_contention",
+    "read_mostly",
+    "cross_region_txn",
+    "elastic_join",
 ]
 
 

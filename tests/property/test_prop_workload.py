@@ -1,0 +1,73 @@
+"""Determinism properties of the WorkloadSpec scenario sweeps.
+
+Same bar the engine properties set: a sweep over the new scenario
+drivers is a function of its spec — serial and parallel executions must
+produce byte-identical artifacts, and every driver must be a pure
+function of its seed (two runs agree exactly).
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import SweepSpec, run_sweep
+from repro.bench.cases import (
+    cross_region_trial,
+    elastic_join_trial,
+    read_mostly_trial,
+    skewed_contention_trial,
+)
+
+#: (task, grid, fixed) per scenario — sizes kept tier-1 small.
+SCENARIO_SWEEPS = [
+    (skewed_contention_trial, {"protocol": ["2pc", "qtp1"]}, {"n_txns": 12}),
+    (read_mostly_trial, {"protocol": ["qtp1"]}, {"n_txns": 16}),
+    (cross_region_trial, {"protocol": ["qtp1"]}, {"n_txns": 8}),
+    (elastic_join_trial, {"protocol": ["qtp1"]}, {"n_txns": 16}),
+]
+
+
+def _artifact(task, grid, fixed, base_seed, workers):
+    """Canonical bytes of the sweep's deterministic portion.
+
+    The trials time themselves (``timing.wall_s``), so the comparison
+    strips that and keeps exactly what ``bench diff`` gates on.
+    """
+    spec = SweepSpec(
+        "workload-equiv",
+        task,
+        grid=grid,
+        runs=2,
+        base_seed=base_seed,
+        seeding="offset",
+        fixed=fixed,
+    )
+    outcome = run_sweep(spec, workers=workers)
+    rows = [
+        {
+            "index": r.index,
+            "params": r.params,
+            "run": r.run,
+            "seed": r.seed,
+            "counters": r.value["counters"],
+        }
+        for r in outcome.results
+    ]
+    return json.dumps(rows, sort_keys=True)
+
+
+class TestScenarioSweepDeterminism:
+    @given(st.integers(0, 2**16))
+    @settings(max_examples=3, deadline=None)
+    def test_serial_equals_parallel_byte_identical(self, base_seed):
+        for task, grid, fixed in SCENARIO_SWEEPS:
+            serial = _artifact(task, grid, fixed, base_seed, workers=1)
+            parallel = _artifact(task, grid, fixed, base_seed, workers=2)
+            assert serial == parallel, f"{task.__name__} differs across worker counts"
+
+    def test_drivers_are_pure_in_their_seed(self):
+        for task, grid, fixed in SCENARIO_SWEEPS:
+            protocol = grid["protocol"][0]
+            first = task(7, protocol=protocol, **fixed)
+            second = task(7, protocol=protocol, **fixed)
+            assert first["counters"] == second["counters"], task.__name__

@@ -82,6 +82,10 @@ class TestSuite:
             "commit_mix",
             "heavy_workload",
             "wan_storm",
+            "skewed_contention",
+            "read_mostly",
+            "cross_region_txn",
+            "elastic_join",
             "net_deliver_fanout",
             "wal_append",
             "trace_record",

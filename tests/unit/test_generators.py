@@ -6,10 +6,13 @@ import pytest
 
 from repro.sim.failures import CrashSite, PartitionNetwork
 from repro.workload.generators import (
+    _deal_stragglers,
     random_catalog,
     random_fault_plan,
     random_partition_groups,
     random_update,
+    region_storm_plan,
+    wan_regions,
 )
 
 
@@ -73,6 +76,53 @@ class TestRandomPartition:
     def test_too_many_groups_rejected(self, rng):
         with pytest.raises(ValueError):
             random_partition_groups(rng, [1, 2], 3)
+
+
+class TestRegionStormPlan:
+    def test_each_site_defects_at_most_once_even_at_prob_one(self):
+        """Straggler-bias regression: the old in-place walk let a site
+        that defected into a later component defect again when that
+        component was processed.  Decided in one pass, every site moves
+        at most once — even with certain defection."""
+        for seed in range(30):
+            components = [[1, 2, 3], [4, 5, 6], [7, 8, 9]]
+            moves = _deal_stragglers(random.Random(seed), components, straggler_prob=1.0)
+            movers = [site for site, __, __ in moves]
+            assert sorted(movers) == sorted(set(movers))
+            assert len(movers) == 9  # prob 1.0: everyone moves exactly once
+            for site, src, dst in moves:
+                assert site in components[src]  # judged on the pre-storm deal
+                assert dst != src
+
+    def test_singleton_components_never_defect(self):
+        moves = _deal_stragglers(random.Random(0), [[1], [2, 3]], straggler_prob=1.0)
+        assert all(site != 1 for site, __, __ in moves)
+
+    def test_straggler_rate_is_unbiased(self):
+        """The per-site defection rate must track straggler_prob; the
+        pre-fix double-draws pushed it measurably above."""
+        prob = 0.15
+        draws = moved = 0
+        for seed in range(120):
+            components = [list(range(c * 8, c * 8 + 8)) for c in range(3)]
+            moves = _deal_stragglers(random.Random(seed), components, prob)
+            draws += 24
+            moved += len(moves)
+        rate = moved / draws
+        # 120 waves x 24 sites = 2880 draws: 4 sigma ~ 0.027
+        assert abs(rate - prob) < 0.03
+
+    def test_plan_shape_and_determinism(self):
+        regions = wan_regions(4, 8)
+        a = region_storm_plan(random.Random(5), regions, waves=3)
+        b = region_storm_plan(random.Random(5), regions, waves=3)
+        assert a.actions == b.actions
+        partitions = [x for x in a.actions if isinstance(x, PartitionNetwork)]
+        assert len(partitions) == 3
+        all_sites = sorted(s for r in regions for s in r)
+        for action in partitions:
+            flat = sorted(s for g in action.groups for s in g)
+            assert flat == all_sites  # components stay a partition of the universe
 
 
 class TestRandomFaultPlan:

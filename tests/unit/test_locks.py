@@ -98,6 +98,72 @@ class TestReleaseAndWake:
         # T3's shared request is compatible with T1 but must not jump T2
         assert not lm.acquire("T3", "x", LockMode.SHARED)
 
+    def test_queued_abort_wakes_followers(self):
+        """Lost-wakeup regression: a txn aborting while its ungranted
+        request heads another item's queue must wake the waiters behind
+        it — they were only blocked by FIFO fairness."""
+        lm = LockManager(1)
+        granted = []
+        lm.acquire("T1", "x", LockMode.SHARED)
+        lm.acquire("T2", "x", LockMode.EXCLUSIVE)  # queued at the head
+        lm.acquire("T3", "x", LockMode.SHARED, on_grant=lambda: granted.append("T3"))
+        lm.release_all("T2")  # T2 aborts while queued, holding nothing
+        assert granted == ["T3"]
+        assert lm.holder_modes("x") == {"T1": LockMode.SHARED, "T3": LockMode.SHARED}
+        assert lm.waiting("x") == []
+
+    def test_queued_abort_wakes_on_every_item(self):
+        """The head request may sit on several items' queues at once."""
+        lm = LockManager(1)
+        granted = []
+        for item in ("x", "y"):
+            lm.acquire("H", item, LockMode.SHARED)
+            lm.acquire("T2", item, LockMode.EXCLUSIVE)
+            lm.acquire(
+                "T3", item, LockMode.SHARED, on_grant=lambda item=item: granted.append(item)
+            )
+        lm.release_all("T2")
+        assert granted == ["x", "y"]
+
+
+class TestTableFootprint:
+    """The vote hot path and the introspection reads must not grow the
+    lock table: long sweeps probe thousands of distinct items."""
+
+    def test_refused_try_acquire_allocates_no_entry(self):
+        lm = LockManager(1)
+        lm.acquire("T1", "x", LockMode.EXCLUSIVE)
+        base = len(lm._items)
+        for __ in range(50):
+            assert not lm.try_acquire("T2", "x", LockMode.EXCLUSIVE)
+        assert len(lm._items) == base
+
+    def test_introspection_allocates_no_entry(self):
+        lm = LockManager(1)
+        for i in range(50):
+            item = f"ghost{i}"
+            assert not lm.is_locked(item)
+            assert lm.holder_modes(item) == {}
+            assert lm.waiting(item) == []
+        assert len(lm._items) == 0
+
+    def test_release_prunes_empty_entries(self):
+        lm = LockManager(1)
+        for i in range(20):
+            assert lm.try_acquire("T1", f"i{i}", LockMode.EXCLUSIVE)
+        assert len(lm._items) == 20
+        lm.release_all("T1")
+        assert len(lm._items) == 0
+
+    def test_release_keeps_entries_with_waiters(self):
+        lm = LockManager(1)
+        lm.acquire("T1", "x", LockMode.EXCLUSIVE)
+        lm.acquire("T2", "x", LockMode.EXCLUSIVE)  # queued
+        lm.acquire("T3", "x", LockMode.EXCLUSIVE)  # queued behind T2
+        lm.release_all("T1")  # wakes T2; T3 still waits — entry must stay
+        assert lm.holder_modes("x") == {"T2": LockMode.EXCLUSIVE}
+        assert [r.txn for r in lm.waiting("x")] == ["T3"]
+
 
 class TestIntrospection:
     def test_is_locked_unrestricted(self):
