@@ -1,0 +1,78 @@
+"""Zipf sampler and fan-out flyweight hot-path performance.
+
+PR 5's allocation/sampling pass pinned two committed baselines:
+
+* ``BENCH_zipf_sampling`` — Walker alias table vs the O(n) cumulative
+  scan at a ~10^5-item catalog (the scale the workload subsystem was
+  built for; the scan is what made those catalogs sampling-bound);
+* ``BENCH_net_fanout_flyweight`` — shared-envelope stamps vs
+  per-destination ``Message`` construction on the send side of
+  broadcast storms.
+
+Here the assertions are deliberately loose (the optimized arm must
+never *lose*) so a loaded CI machine cannot flake the suite; the
+committed baselines record the actual speedups.  The large-catalog
+sweep is ``slow``-marked — the weekly scheduled suite runs it at full
+10^5-item scale.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.cases import net_fanout_flyweight_trial, zipf_sampling_trial
+
+
+@pytest.mark.perf
+def test_alias_sampler_not_slower_than_scan():
+    sizes = {"n_items": 5_000, "draws": 120, "fp_draws": 20}
+    scan = []
+    alias = []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        zipf_sampling_trial(2, alias=False, **sizes)
+        scan.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        zipf_sampling_trial(2, alias=True, **sizes)
+        alias.append(time.perf_counter() - t0)
+    assert min(alias) < min(scan) * 1.25, (
+        f"alias sampler lost its edge: alias {min(alias):.3f}s "
+        f"vs scan {min(scan):.3f}s"
+    )
+
+
+@pytest.mark.perf
+def test_flyweight_fanout_not_slower_than_messages():
+    legacy = []
+    stamped = []
+    for _ in range(3):
+        base = net_fanout_flyweight_trial(1, flyweight=False, n_sites=16, rounds=10)
+        fast = net_fanout_flyweight_trial(1, flyweight=True, n_sites=16, rounds=10)
+        assert base["counters"] == fast["counters"]
+        legacy.append(base["timing"]["wall_s"])
+        stamped.append(fast["timing"]["wall_s"])
+    assert min(stamped) < min(legacy) * 1.15, (
+        f"flyweight lost its edge: stamps {min(stamped):.3f}s "
+        f"vs messages {min(legacy):.3f}s"
+    )
+
+
+@pytest.mark.slow
+@pytest.mark.perf
+def test_alias_sampler_wins_big_at_large_catalogs():
+    """The weekly deep run: full 10^5-item scale, hard 1.5x bar.
+
+    At this catalog size the O(n) scan pays ~10^5 additions per draw
+    (plus two full list copies per footprint), so the alias table must
+    win by a wide margin even on a noisy machine.
+    """
+    sizes = {"n_items": 100_000, "draws": 240, "fp_draws": 40}
+    t0 = time.perf_counter()
+    zipf_sampling_trial(3, alias=False, **sizes)
+    scan = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    zipf_sampling_trial(3, alias=True, **sizes)
+    alias = time.perf_counter() - t0
+    assert alias * 1.5 < scan, (
+        f"large-catalog alias speedup below 1.5x: alias {alias:.3f}s vs scan {scan:.3f}s"
+    )

@@ -34,6 +34,26 @@ Representative workloads covered:
   per-event ``PartitionView`` reconstruction vs interned views.
 * ``suite_warm_pool`` — A/B microbench of the sweep executor: a pool
   per sweep vs one persistent warm pool across a campaign of sweeps.
+* ``net_fanout_flyweight`` — A/B microbench of the fan-out allocation
+  layer: legacy per-destination ``Message`` construction vs the shared
+  :class:`~repro.net.message.MessageTemplate` envelope with thin
+  per-destination stamps.  Only the send side is timed — that is the
+  path the flyweight changes — while delivery still runs for counters.
+* ``zipf_sampling`` — A/B microbench of the Zipf item sampler at a
+  ~10^5-item catalog: the historical O(n) cumulative scan
+  (``sampler="scan"``) vs the O(1) Walker alias table
+  (``sampler="alias"``).  The samplers draw the RNG differently by
+  design, so counters differ *across arms* (each arm is deterministic;
+  distribution equivalence is pinned by a property test).
+* ``recovery_replay`` — A/B microbench of crash recovery's data
+  replay: the legacy full-WAL scan vs the per-item newest-``apply``
+  index, on logs harvested from a heavy E18 run and replayed at 1x and
+  4x length (the committed timing rows show the scan growing with log
+  length while the indexed replay stays flat).
+* ``catalog_memo`` — A/B microbench of per-trial catalog construction
+  vs :func:`~repro.workload.generators.memoized_catalog` (state-capture
+  memo; the RNG-probe counters prove the caller's stream is identical
+  on both arms).
 """
 
 from __future__ import annotations
@@ -325,6 +345,285 @@ def net_fanout_trial(
             "dropped": network.dropped,
             "events_run": sched.events_run,
             "epochs": network.epoch,
+        },
+        "timing": {"wall_s": wall},
+    }
+
+
+# ----------------------------------------------------------------------
+# fan-out flyweight microbench
+# ----------------------------------------------------------------------
+
+
+def net_fanout_flyweight_trial(
+    seed: int, flyweight: bool, n_sites: int = 32, rounds: int = 60
+) -> dict[str, Any]:
+    """Time the send side of broadcast storms: Message-per-dst vs stamps.
+
+    The ``flyweight`` grid axis selects legacy per-destination
+    :class:`~repro.net.message.Message` construction (``False``) or the
+    shared-envelope :class:`~repro.net.message.MessageTemplate` stamps
+    (``True``).  Only the ``multicast`` calls are timed — the flyweight
+    changes the allocation layer of the send path, nothing downstream —
+    but every round still drains the scheduler so delivery counters pin
+    behavioural equivalence.  A partitioned phase exercises the drop
+    path's stamp handling too.
+    """
+    sched = Scheduler()
+    network = Network(
+        sched, Tracer(capacity=0), RngRegistry(seed), flyweight=flyweight
+    )
+    nodes = [_Sink(i, network) for i in range(n_sites)]
+    everyone = list(range(n_sites))
+    half = n_sites // 2
+    wall = 0.0
+
+    def storm() -> float:
+        t0 = time.perf_counter()
+        for node in nodes:
+            node.multicast(everyone, "bench.ping", "T")
+        return time.perf_counter() - t0
+
+    for _ in range(rounds):
+        wall += storm()
+        wall += storm()
+        network.set_partition([everyone[:half], everyone[half:]])
+        wall += storm()
+        network.heal()
+        sched.run()
+    return {
+        "counters": {
+            "sent": network.sent,
+            "delivered": network.delivered,
+            "dropped": network.dropped,
+            "events_run": sched.events_run,
+        },
+        "timing": {"wall_s": wall},
+    }
+
+
+# ----------------------------------------------------------------------
+# Zipf sampling microbench
+# ----------------------------------------------------------------------
+
+
+def _zipf_bench_catalog(n_items: int) -> Any:
+    """A huge synthetic catalog (pure — no RNG, so worker-cacheable).
+
+    Every item shares one frozen copies mapping (three sites, one vote
+    each) to keep 10^5 :class:`ItemConfig` rows cheap; names are
+    zero-padded so rank order equals name order.
+    """
+    from repro.replication.catalog import ItemConfig, ReplicaCatalog
+
+    copies = {1: 1, 2: 1, 3: 1}
+    return ReplicaCatalog(
+        ItemConfig(f"i{i:07d}", copies, 2, 2) for i in range(n_items)
+    )
+
+
+def zipf_sampling_trial(
+    seed: int,
+    alias: bool,
+    n_items: int = 100_000,
+    draws: int = 240,
+    fp_draws: int = 40,
+    zipf_s: float = 1.1,
+) -> dict[str, Any]:
+    """Draw Zipf item picks and footprints from a very large catalog.
+
+    The ``alias`` grid axis selects the historical cumulative scan
+    (``False``, O(n) per draw — and O(n) list copies per footprint) or
+    the Walker alias table (``True``, O(1) per draw with
+    rejection-on-alias footprints).  Compilation is inside the timed
+    region, so the alias arm pays its table build honestly.  Counters
+    are deterministic per arm but differ across arms — the two samplers
+    consume the RNG differently by design; their *distributions* agree
+    (see ``tests/property/test_prop_workload.py``).
+    """
+    from repro.workload.spec import WorkloadSpec
+
+    catalog = worker_cache(
+        ("zipf-bench-catalog", n_items), lambda: _zipf_bench_catalog(n_items)
+    )
+    rng = RngRegistry(seed).stream("zipf-sampling")
+    spec = WorkloadSpec(
+        popularity="zipf",
+        zipf_s=zipf_s,
+        footprint=(2, 4),
+        sampler="alias" if alias else "scan",
+    )
+    t0 = time.perf_counter()
+    compiled = spec.compile(catalog)
+    head = 0  # draws landing on the ten hottest ranks
+    index_sum = 0
+    for _ in range(draws):
+        rank = int(compiled.pick_item(rng)[1:])
+        index_sum += rank
+        head += rank < 10
+    fp_items = 0
+    fp_index_sum = 0
+    for _ in range(fp_draws):
+        picked = compiled.pick_items(rng)
+        fp_items += len(picked)
+        fp_index_sum += sum(int(name[1:]) for name in picked)
+    wall = time.perf_counter() - t0
+    return {
+        "counters": {
+            "draws": draws,
+            "head_hits": head,
+            "index_sum": index_sum,
+            "fp_draws": fp_draws,
+            "fp_items": fp_items,
+            "fp_index_sum": fp_index_sum,
+        },
+        "timing": {"wall_s": wall},
+    }
+
+
+# ----------------------------------------------------------------------
+# recovery replay microbench
+# ----------------------------------------------------------------------
+
+
+def recovery_replay_trial(
+    seed: int,
+    indexed: bool,
+    n_txns: int = 260,
+    n_sites: int = 8,
+    replays: int = 5,
+) -> dict[str, Any]:
+    """Replay crash recovery against WALs harvested from a heavy run.
+
+    A deterministic E18 run is executed once per seed and every site's
+    ``force`` sequence is harvested; the sequences are then appended
+    into fresh logs at 1x and 4x length (the 4x log repeats the
+    sequence, modelling a longer history whose re-applied versions are
+    stale).  Only :func:`~repro.storage.recovery.replay_data` against
+    fresh version-0 stores is timed: the ``indexed`` grid axis selects
+    the legacy full scan (``False``, O(len(wal))) or the per-item
+    newest-``apply`` index (``True``, O(items touched)).  Both arms
+    must leave byte-identical stores — the checksum counters pin it —
+    while the install counts legitimately differ (the scan walks each
+    item up its version ladder; the index jumps to the newest).
+    """
+    from repro.storage.recovery import replay_data
+    from repro.storage.store import ReplicaStore
+
+    def harvest_sequences() -> dict[int, list[Any]]:
+        from repro.experiments.workload_study import run_heavy_workload
+
+        sequences: dict[int, list[Any]] = {}
+
+        def harvest(cluster: Cluster) -> None:
+            for sid, site in cluster.sites.items():
+                sequences[sid] = [(r.txn, r.kind, dict(r.payload)) for r in site.wal]
+
+        run_heavy_workload(
+            "qtp1", seed=seed, n_txns=n_txns, n_sites=n_sites, probe=harvest
+        )
+        return sequences
+
+    # pure function of (seed, shape) and identical on both grid arms,
+    # so one harvest run serves every arm and repeat in this worker
+    sequences = worker_cache(
+        ("recovery-replay-sequences", seed, n_txns, n_sites), harvest_sequences
+    )
+
+    def build_wal(sid: int, scale: int) -> WriteAheadLog:
+        wal = WriteAheadLog(sid)
+        for _ in range(scale):
+            for txn, kind, payload in sequences[sid]:
+                wal.force(txn, kind, **payload)
+        return wal
+
+    def fresh_store(sid: int, wal: WriteAheadLog) -> ReplicaStore:
+        store = ReplicaStore(sid)
+        for record in wal:
+            if record.kind == "apply" and not store.hosts(record.payload["item"]):
+                store.host(record.payload["item"], value=0, version=0)
+        return store
+
+    counters: dict[str, Any] = {}
+    timing: dict[str, Any] = {}
+    total = 0.0
+    for scale in (1, 4):
+        wals = {sid: build_wal(sid, scale) for sid in sequences}
+        installed = 0
+        checksum = 0
+        wall = float("inf")
+        for _ in range(replays):
+            stores = {sid: fresh_store(sid, wal) for sid, wal in wals.items()}
+            t0 = time.perf_counter()
+            installed = sum(
+                replay_data(wals[sid], stores[sid], full_scan=not indexed)
+                for sid in wals
+            )
+            wall = min(wall, time.perf_counter() - t0)
+        for sid in sorted(wals):
+            for item, versioned in stores[sid].items():
+                checksum += versioned.version * 31 + (versioned.value or 0)
+        counters[f"wal_records_{scale}x"] = sum(len(w) for w in wals.values())
+        counters[f"installed_{scale}x"] = installed
+        counters[f"store_checksum_{scale}x"] = checksum
+        timing[f"wall_{scale}x_s"] = wall
+        total += wall
+    timing["wall_s"] = total
+    return {"counters": counters, "timing": timing}
+
+
+# ----------------------------------------------------------------------
+# catalog memo microbench
+# ----------------------------------------------------------------------
+
+
+def catalog_memo_trial(
+    seed: int,
+    memo: bool,
+    n_regions: int = 4,
+    sites_per_region: int = 8,
+    n_items: int = 48,
+    reuses: int = 12,
+) -> dict[str, Any]:
+    """Rebuild one sweep's catalog per grid cell vs fetch it memoized.
+
+    Emulates the ``seeding="offset"`` shape: ``reuses`` grid cells each
+    re-derive the same named stream for the same seed and need the same
+    catalog.  The ``memo`` axis selects a fresh
+    :func:`~repro.workload.generators.wan_catalog` build per cell
+    (``False``) or :func:`~repro.workload.generators.memoized_catalog`
+    (``True``, state-capture hit after the first build).  The RNG probe
+    drawn *after* the catalog must be identical on both arms — that is
+    the stream-identity contract the memo keeps.
+    """
+    from repro.workload.generators import memoized_catalog, wan_catalog
+
+    checksum = 0
+    probe_sum = 0.0
+    key = ("catalog-memo-bench", seed, n_regions, sites_per_region, n_items)
+
+    def build(r: Any) -> Any:
+        return wan_catalog(
+            r,
+            n_regions=n_regions,
+            sites_per_region=sites_per_region,
+            n_items=n_items,
+            region_replication=3,
+        )
+
+    t0 = time.perf_counter()
+    for _cell in range(reuses):
+        rng = RngRegistry(seed).stream("catalog-memo-bench")
+        catalog = memoized_catalog(rng, key, build) if memo else build(rng)
+        probe_sum += rng.random()  # stream position after the build
+        names = catalog.item_names
+        checksum += len(names) + sum(catalog.v(i) for i in names[:8])
+    wall = time.perf_counter() - t0
+    return {
+        "counters": {
+            "reuses": reuses,
+            "checksum": checksum,
+            "probe_sum": probe_sum,
         },
         "timing": {"wall_s": wall},
     }
@@ -691,6 +990,14 @@ _SCALES = {
         "read_mostly_txns": 100,
         "cross_region_txns": 40,
         "elastic_txns": 60,
+        "flyweight_sites": 32,
+        "flyweight_rounds": 60,
+        "zipf_items": 100_000,
+        "zipf_draws": 240,
+        "zipf_fp_draws": 40,
+        "recovery_txns": 260,
+        "recovery_replays": 5,
+        "memo_reuses": 12,
         "repeats": 3,
     },
     "quick": {
@@ -712,6 +1019,14 @@ _SCALES = {
         "read_mostly_txns": 20,
         "cross_region_txns": 10,
         "elastic_txns": 24,
+        "flyweight_sites": 10,
+        "flyweight_rounds": 4,
+        "zipf_items": 2_000,
+        "zipf_draws": 60,
+        "zipf_fp_draws": 10,
+        "recovery_txns": 40,
+        "recovery_replays": 1,
+        "memo_reuses": 4,
         "repeats": 1,
     },
 }
@@ -893,6 +1208,68 @@ def default_suite(scale: str = "full") -> BenchSuite:
                 ),
                 repeats=repeats,
                 derived=ab_speedup("warm"),
+            ),
+            BenchCase(
+                name="net_fanout_flyweight",
+                spec=SweepSpec(
+                    name="bench-net-fanout-flyweight",
+                    task=net_fanout_flyweight_trial,
+                    grid={"flyweight": [False, True]},
+                    runs=2,
+                    seeding="offset",
+                    fixed={
+                        "n_sites": s["flyweight_sites"],
+                        "rounds": s["flyweight_rounds"],
+                    },
+                ),
+                repeats=repeats,
+                derived=ab_speedup("flyweight"),
+            ),
+            BenchCase(
+                name="zipf_sampling",
+                spec=SweepSpec(
+                    name="bench-zipf-sampling",
+                    task=zipf_sampling_trial,
+                    grid={"alias": [False, True]},
+                    runs=2,
+                    seeding="offset",
+                    fixed={
+                        "n_items": s["zipf_items"],
+                        "draws": s["zipf_draws"],
+                        "fp_draws": s["zipf_fp_draws"],
+                    },
+                ),
+                repeats=repeats,
+                derived=ab_speedup("alias"),
+            ),
+            BenchCase(
+                name="recovery_replay",
+                spec=SweepSpec(
+                    name="bench-recovery-replay",
+                    task=recovery_replay_trial,
+                    grid={"indexed": [False, True]},
+                    runs=2,
+                    seeding="offset",
+                    fixed={
+                        "n_txns": s["recovery_txns"],
+                        "replays": s["recovery_replays"],
+                    },
+                ),
+                repeats=repeats,
+                derived=ab_speedup("indexed"),
+            ),
+            BenchCase(
+                name="catalog_memo",
+                spec=SweepSpec(
+                    name="bench-catalog-memo",
+                    task=catalog_memo_trial,
+                    grid={"memo": [False, True]},
+                    runs=2,
+                    seeding="offset",
+                    fixed={"reuses": s["memo_reuses"]},
+                ),
+                repeats=repeats,
+                derived=ab_speedup("memo"),
             ),
         ]
     )

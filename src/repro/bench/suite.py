@@ -232,7 +232,7 @@ class BenchSuite:
 
         Pass a :class:`~repro.engine.executor.SweepRunner` to run every
         case's sweeps on one warm pool (the ``--persistent-pool`` CLI
-        mode): nine cases × three repeats then cost one pool, not 27.
+        mode): seventeen cases × three repeats then cost one pool, not 51.
         """
         picked = list(names) if names is not None else self.names
         return {

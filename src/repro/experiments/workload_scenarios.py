@@ -32,6 +32,7 @@ from repro.experiments.workload_study import run_heavy_workload
 from repro.sim.failures import FailurePlan, JoinSite
 from repro.sim.rng import RngRegistry
 from repro.workload.generators import (
+    memoized_catalog,
     random_catalog,
     random_partition_groups,
     wan_catalog,
@@ -143,12 +144,16 @@ def run_cross_region(
     """
     registry = RngRegistry(seed)
     rng = registry.stream("cross-region")
-    catalog = wan_catalog(
+    catalog = memoized_catalog(
         rng,
-        n_regions=n_regions,
-        sites_per_region=sites_per_region,
-        n_items=n_items,
-        region_replication=region_replication,
+        ("cross-region", n_regions, sites_per_region, n_items, region_replication),
+        lambda r: wan_catalog(
+            r,
+            n_regions=n_regions,
+            sites_per_region=sites_per_region,
+            n_items=n_items,
+            region_replication=region_replication,
+        ),
     )
     regions = wan_regions(n_regions, sites_per_region)
     spec = WorkloadSpec(
@@ -239,8 +244,13 @@ def run_elastic_join(
     """
     registry = RngRegistry(seed)
     rng = registry.stream("elastic-join")
-    catalog = random_catalog(
-        rng, n_sites=n_sites, n_items=n_items, replication=replication
+    # mutable: joins admit_site into the catalog mid-run, so each trial
+    # gets a fork and the cached original stays pristine
+    catalog = memoized_catalog(
+        rng,
+        ("elastic-join", n_sites, n_items, replication),
+        lambda r: random_catalog(r, n_sites=n_sites, n_items=n_items, replication=replication),
+        mutable=True,
     )
     spec = WorkloadSpec(n_txns=n_txns, mean_spacing=mean_spacing)
     compiled = spec.compile(catalog)

@@ -27,6 +27,7 @@ from repro.engine import ResultStore, SweepSpec, run_sweep
 from repro.sim.failures import FailurePlan
 from repro.sim.rng import RngRegistry
 from repro.workload.generators import (
+    memoized_catalog,
     random_catalog,
     random_partition_groups,
 )
@@ -225,7 +226,13 @@ def run_heavy_workload(
     """
     registry = RngRegistry(seed)
     rng = registry.stream("heavy-workload")
-    catalog = random_catalog(rng, n_sites=n_sites, n_items=n_items, replication=replication)
+    # pure function of (stream state, shape): protocols replaying the
+    # same seed fetch the catalog instead of rebuilding it per trial
+    catalog = memoized_catalog(
+        rng,
+        ("heavy-workload", n_sites, n_items, replication),
+        lambda r: random_catalog(r, n_sites=n_sites, n_items=n_items, replication=replication),
+    )
     spec = workload if workload is not None else WorkloadSpec(
         n_txns=n_txns, mean_spacing=mean_spacing
     )

@@ -52,6 +52,16 @@ Two further hot paths are cached here:
   ``send`` / ``deliver`` / ``drop`` records go through
   :meth:`Tracer.record_send` and friends, which append straight into
   the columnar store without building a detail dict or a record object.
+* **Fan-outs stamp a shared envelope.**  A protocol fan-out repeats the
+  same ``src`` / ``mtype`` / ``txn`` / ``payload`` per destination; with
+  ``flyweight=True`` (default) :meth:`fanout` builds one
+  :class:`~repro.net.message.MessageTemplate` and stamps a thin
+  per-destination clone (plain slot stores) instead of constructing a
+  full frozen-dataclass :class:`Message` per destination.  Delivery,
+  tracing, drop bookkeeping and ``msg_id`` draws are identical —
+  stamps duck-type messages exactly.  ``flyweight=False`` restores the
+  legacy per-object construction — kept for A/B measurement by the
+  ``net_fanout_flyweight`` bench case.
 """
 
 from __future__ import annotations
@@ -59,7 +69,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.net.delays import DelayModel, FixedDelay
-from repro.net.message import Message
+from repro.net.message import Message, MessageTemplate
 from repro.net.partitions import PartitionView
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -82,6 +92,7 @@ class Network:
         delay_model: DelayModel | None = None,
         fanout_cache: bool = True,
         intern_views: bool = True,
+        flyweight: bool = True,
     ) -> None:
         self._scheduler = scheduler
         self._tracer = tracer
@@ -108,6 +119,8 @@ class Network:
         # (None = the healed view); cleared when the universe changes.
         self._intern_views = intern_views
         self._view_cache: dict[tuple[tuple[int, ...], ...] | None, PartitionView] = {}
+        # shared-envelope fan-out stamps (legacy Message-per-dst when off)
+        self._flyweight = flyweight
 
     # ------------------------------------------------------------------
     # registration and topology
@@ -401,11 +414,15 @@ class Network:
         <repro.net.node.Node.broadcast>` and :meth:`Node.multicast
         <repro.net.node.Node.multicast>`: the protocol engines route
         vote requests, PREPAREs, decisions and termination polls here.
-        Per-destination messages are distinct :class:`Message` objects
-        (delivery, tracing and drop bookkeeping are per message, exactly
-        as with :meth:`send`), but the sender-liveness check, the
-        reachable-peer set and the virtual clock are read once per
-        fan-out instead of once per destination.  The payload dict is
+        Per-destination messages are distinct objects with distinct
+        ``msg_id``\\ s (delivery, tracing and drop bookkeeping are per
+        message, exactly as with :meth:`send`), but the sender-liveness
+        check, the reachable-peer set and the virtual clock are read
+        once per fan-out instead of once per destination — no events run
+        between the per-destination sends, so the clock cannot advance
+        mid-loop.  With ``flyweight=True`` the shared fields live in one
+        :class:`~repro.net.message.MessageTemplate` envelope and each
+        destination gets a thin stamp; either way the payload dict is
         shared across the fan-out — messages are immutable by contract.
 
         Falls back to per-message :meth:`send` whenever filters or lossy
@@ -428,11 +445,15 @@ class Network:
         rng = self._rng
         epoch = self._epoch
         deliver_fast = self._deliver_fast
+        now = sched.now
+        template = MessageTemplate(src, mtype, txn, payload) if self._flyweight else None
         for dst in dsts:
             self.sent += 1
-            now = sched.now
             record_send(now, src, txn, mtype, dst)
-            msg = Message(src, dst, mtype, txn, payload)
+            if template is not None:
+                msg = template.for_dst(dst)
+            else:
+                msg = Message(src, dst, mtype, txn, payload)
             dst_node = nodes.get(dst)
             if dst_node is None:
                 drop(msg, "unknown-destination")

@@ -151,6 +151,20 @@ class ReplicaCatalog:
         """Do ``sites`` hold at least w(x) votes for ``item``?"""
         return self.votes(item, sites) >= self.w(item)
 
+    def fork(self) -> "ReplicaCatalog":
+        """A mutation-isolated copy of this catalog.
+
+        Shares the frozen per-item :class:`ItemConfig` objects (they are
+        immutable) but owns its item map, so :meth:`admit_site` on the
+        fork never leaks into the original.  Used by the catalog memo:
+        a cached catalog handed to a driver that joins sites mid-run
+        must not poison later trials in the same worker.  Skips
+        re-validation — the source catalog already validated every item.
+        """
+        clone = ReplicaCatalog.__new__(ReplicaCatalog)
+        clone._items = dict(self._items)
+        return clone
+
     # ------------------------------------------------------------------
     # elastic membership
     # ------------------------------------------------------------------

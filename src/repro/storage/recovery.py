@@ -5,6 +5,18 @@ After a crash, a site reconstructs two things:
 1. **Data** — committed writes are replayed from ``apply`` records into
    the replica store (idempotently: a replayed version that is not newer
    than the stored one is skipped, since the store may already hold it).
+   The replay rides the WAL's per-item newest-``apply`` index
+   (:meth:`~repro.storage.wal.WriteAheadLog.latest_applies`): only the
+   newest version of each touched item is considered, O(items touched)
+   instead of O(len(wal)) — heavy-traffic logs hold thousands of
+   records but touch a handful of items.  A legacy
+   (``group_commit=False``) log has no index, so the replay falls back
+   to the historical full scan; ``full_scan=True`` forces that path for
+   A/B measurement (the ``recovery_replay`` bench case) and for the
+   equivalence regression tests.  Both paths install the same versions
+   and leave the store byte-identical; only the *count* of installs can
+   differ (the full scan may walk one item through several successive
+   versions where the index jumps straight to the newest).
 2. **Protocol state** — for each transaction with a ``begin`` but no
    decision, the last logged protocol record determines the durable
    local state the site recovers into: ``begin`` -> Q (it never voted,
@@ -20,9 +32,24 @@ from repro.storage.store import ReplicaStore
 from repro.storage.wal import WriteAheadLog
 
 
-def replay_data(wal: WriteAheadLog, store: ReplicaStore) -> int:
-    """Re-install committed writes into the store; returns replay count."""
+def replay_data(wal: WriteAheadLog, store: ReplicaStore, full_scan: bool = False) -> int:
+    """Re-install committed writes into the store; returns install count.
+
+    Uses the WAL's per-item newest-``apply`` index when it exists (see
+    module docstring); ``full_scan=True`` — or a legacy unindexed log —
+    replays every ``apply`` record in LSN order instead.  Final store
+    state is identical either way.
+    """
+    latest = None if full_scan else wal.latest_applies()
     replayed = 0
+    if latest is not None:
+        for item, (version, value) in latest.items():
+            if not store.hosts(item):
+                continue
+            if store.read(item).version < version:
+                store.write(item, value, version)
+                replayed += 1
+        return replayed
     for record in wal:
         if record.kind != "apply":
             continue

@@ -55,9 +55,14 @@ class ReplicaStore:
 
         Versions must strictly increase — a stale write reaching a copy
         indicates a broken quorum intersection somewhere above, so it is
-        an error here, not a silent no-op.
+        an error here, not a silent no-op.  This sits on the commit hot
+        path (every ``apply`` lands here), so the current copy comes
+        from a direct dict probe rather than the exception-wrapping
+        :meth:`read`; the error messages are identical.
         """
-        current = self.read(item)
+        current = self._copies.get(item)
+        if current is None:
+            raise StorageError(f"site {self.site} hosts no copy of {item!r}")
         if version <= current.version:
             raise StorageError(
                 f"site {self.site}: stale write of {item!r} "

@@ -25,8 +25,11 @@ site, and the commit protocols interrogate the log constantly
 (``decision`` on every decision force and throughout termination,
 ``for_txn`` per in-doubt transaction per connectivity change).  The
 log therefore keeps per-transaction indexes — ``decision`` and
-``for_txn`` are O(1)/O(k) instead of a full reverse scan — and models
-stable-storage writes with a *group-commit buffer*: ``begin`` and
+``for_txn`` are O(1)/O(k) instead of a full reverse scan — plus a
+per-*item* newest-``apply`` index (:meth:`WriteAheadLog.latest_applies`)
+so crash recovery replays O(items touched) instead of rescanning the
+whole log (see :func:`~repro.storage.recovery.replay_data`) — and
+models stable-storage writes with a *group-commit buffer*: ``begin`` and
 ``apply`` records accumulate in the open batch, and a single flush is
 charged when a record the protocol answers on (``vote``/``pc``/``pa``/
 ``commit``/``abort`` — all of which must hit stable storage before the
@@ -81,6 +84,9 @@ class WriteAheadLog:
         self._decisions: dict[str, str] = {}
         self._begin_order: list[str] = []
         self._has_begin: set[str] = set()
+        # item -> (version, value) of the newest apply record, so
+        # recovery replays per item touched, not per log record.
+        self._applies: dict[str, tuple[int, Any]] = {}
         # group-commit accounting: records in the open batch, and how
         # many stable-storage flushes have been charged so far.
         self._unflushed = 0
@@ -138,6 +144,15 @@ class WriteAheadLog:
         self._unflushed += 1
         if is_decision and txn not in self._decisions:
             self._decisions[txn] = kind
+        elif kind == "apply" and "item" in record.payload:
+            # synthetic tests may force bare applies; only well-formed
+            # records (the protocol always writes item/value/version)
+            # enter the recovery index
+            item = record.payload["item"]
+            version = record.payload.get("version", 0)
+            prior = self._applies.get(item)
+            if prior is None or version > prior[0]:
+                self._applies[item] = (version, record.payload.get("value"))
         if kind in _FLUSH_KINDS:
             self.flush()
         return record
@@ -176,6 +191,20 @@ class WriteAheadLog:
         for record in reversed(self._records):
             if record.txn == txn and record.kind in _DECISION_KINDS:
                 return record.kind
+        return None
+
+    def latest_applies(self) -> dict[str, tuple[int, Any]] | None:
+        """Newest ``apply`` per item: ``item -> (version, value)``.
+
+        The recovery index: :func:`~repro.storage.recovery.replay_data`
+        re-installs at most one version per item from this map instead
+        of scanning every log record.  ``None`` in legacy
+        (``group_commit=False``) mode, where no indexes are maintained
+        — callers must fall back to the full scan.  The returned dict
+        is the live index; treat it as read-only.
+        """
+        if self._group_commit:
+            return self._applies
         return None
 
     def last_protocol_record(self, txn: str) -> LogRecord | None:

@@ -3,15 +3,77 @@
 All generators take an explicit ``random.Random`` so experiments stay
 reproducible (the RNG comes from a named
 :class:`~repro.sim.rng.RngRegistry` stream).
+
+Catalog memoization
+-------------------
+
+Sweep drivers rebuild their catalog from scratch inside every trial,
+yet with ``seeding="offset"`` every grid cell (protocol) replays the
+*same* seed sequence — the same catalogs, rebuilt once per cell.
+:func:`memoized_catalog` removes the rebuilds without touching a single
+RNG draw: the cache key includes the **exact pre-build RNG state**, and
+the cached entry stores the catalog *plus the post-build RNG state*,
+which a cache hit restores before returning.  The caller's stream is
+therefore bit-identical whether the catalog was built or fetched — the
+catalog is a pure function of (state, shape), and the skipped draws are
+replayed by ``setstate`` instead of by re-drawing.  Entries live in the
+per-process :func:`~repro.engine.executor.worker_cache`, so persistent
+warm pool workers keep them across sweeps; a small FIFO bound per tag
+keeps 10^5-run sweeps from hoarding memory.
+
+Drivers whose runs *mutate* the catalog (elastic joins call
+``admit_site``) pass ``mutable=True`` and receive a
+:meth:`~repro.replication.catalog.ReplicaCatalog.fork` — the cached
+original stays pristine.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Any
+from typing import Any, Callable
 
+from repro.engine.executor import worker_cache
 from repro.replication.catalog import CatalogBuilder, ReplicaCatalog
 from repro.sim.failures import FailurePlan
+
+#: per-tag FIFO bound of the catalog memo (entries are a catalog plus
+#: one Mersenne-Twister state tuple, a few KB each).
+CATALOG_MEMO_LIMIT = 128
+
+
+def memoized_catalog(
+    rng: random.Random,
+    key: tuple[Any, ...],
+    build: Callable[[random.Random], ReplicaCatalog],
+    mutable: bool = False,
+) -> ReplicaCatalog:
+    """Build — or fetch — a catalog drawn from a shared RNG stream.
+
+    ``key`` names the call site and every shape parameter the builder
+    uses (``("heavy-workload", n_sites, n_items, replication)``); the
+    full pre-build ``rng.getstate()`` is appended automatically, which
+    makes the memo safe unconditionally: a hit is only possible when
+    the builder would have received the identical stream, and restoring
+    the stored post-build state leaves the caller's subsequent draws
+    bit-identical to an actual rebuild (see module docstring).
+
+    ``mutable=True`` returns a fork so in-run catalog mutation
+    (``admit_site``) cannot poison the cached original.
+    """
+    memo: dict[Any, tuple[ReplicaCatalog, Any]] = worker_cache(
+        ("catalog-memo", key[0]), dict
+    )
+    full_key = (key, rng.getstate())
+    hit = memo.get(full_key)
+    if hit is None:
+        catalog = build(rng)
+        if len(memo) >= CATALOG_MEMO_LIMIT:
+            memo.pop(next(iter(memo)))  # FIFO: oldest insertion goes first
+        memo[full_key] = (catalog, rng.getstate())
+    else:
+        catalog, post_state = hit
+        rng.setstate(post_state)
+    return catalog.fork() if mutable else catalog
 
 
 def random_catalog(

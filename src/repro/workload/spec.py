@@ -30,6 +30,26 @@ draw sequences bit-for-bit**:
 
 This is what lets E18 and E21 run on specs while their committed
 ``BENCH_*.json`` trajectories stay byte-identical.
+
+Sampler modes
+-------------
+
+Zipf item picks support two samplers.  The default, ``sampler="scan"``,
+is the historical cumulative-weight scan — one ``rng.random()`` per
+draw, O(n) in the catalog size, bit-for-bit the stream every committed
+trajectory was pinned on (the weight *total* is precomputed once at
+compile time; summation order is unchanged, so the product
+``rng.random() * total`` is the exact float the per-draw ``sum`` used
+to produce).  ``sampler="alias"`` builds a Walker alias table at
+compile time and draws in O(1) — still one ``rng.random()`` per draw —
+with rejection-on-alias for without-replacement footprints instead of
+the O(n) pop-and-rescan loop.  The alias sampler consumes the RNG
+differently (same count of draws for single picks, but different
+values feed the selection), so its streams are **not** comparable to
+scan streams; it is opt-in precisely so historical trajectories never
+shift.  Distribution equivalence of the two samplers is pinned by a
+frequency-tolerance property test, and the ``zipf_sampling`` bench case
+commits the speedup at ~10^5-item catalogs.
 """
 
 from __future__ import annotations
@@ -47,6 +67,44 @@ POPULARITY_MODES = ("uniform", "zipf")
 
 #: arrival processes a spec may choose from.
 ARRIVAL_MODES = ("poisson", "fixed")
+
+#: weighted-pick samplers a spec may choose from.
+SAMPLER_MODES = ("scan", "alias")
+
+
+def build_alias_table(weights: Sequence[float]) -> tuple[list[float], list[int]]:
+    """Walker's alias method: O(n) setup for O(1) weighted draws.
+
+    Returns ``(prob, alias)``: cell ``i`` keeps the draw with
+    probability ``prob[i]`` and defers to ``alias[i]`` otherwise.  The
+    classic small/large worklist construction; cells are filled in
+    deterministic index order so the table — hence every draw — is a
+    pure function of the weights.
+    """
+    n = len(weights)
+    if n == 0:
+        raise ConfigurationError("alias table needs at least one weight")
+    total = sum(weights)
+    if total <= 0:
+        raise ConfigurationError("alias table needs a positive weight total")
+    prob = [0.0] * n
+    alias = list(range(n))
+    scaled = [w * n / total for w in weights]
+    small = [i for i in range(n) if scaled[i] < 1.0]
+    large = [i for i in range(n) if scaled[i] >= 1.0]
+    while small and large:
+        s = small.pop()
+        g = large.pop()
+        prob[s] = scaled[s]
+        alias[s] = g
+        scaled[g] = (scaled[g] + scaled[s]) - 1.0
+        (small if scaled[g] < 1.0 else large).append(g)
+    # leftovers are 1.0 up to float round-off
+    for i in large:
+        prob[i] = 1.0
+    for i in small:
+        prob[i] = 1.0
+    return prob, alias
 
 
 @dataclass(frozen=True)
@@ -88,6 +146,10 @@ class WorkloadSpec:
             the draw entirely.
         value_pool: value range for direct-update drivers
             (``rng.randrange(value_pool)`` per written item).
+        sampler: Zipf pick implementation — ``"scan"`` (default, the
+            historical cumulative scan, O(n) per draw) or ``"alias"``
+            (Walker alias table, O(1) per draw, different RNG stream —
+            see the module docstring).  Ignored for uniform popularity.
     """
 
     n_txns: int = 60
@@ -100,6 +162,7 @@ class WorkloadSpec:
     start: float = 1.0
     cross_region: float = 0.0
     value_pool: int = 1000
+    sampler: str = "scan"
 
     def __post_init__(self) -> None:
         if self.n_txns < 1:
@@ -133,6 +196,10 @@ class WorkloadSpec:
             )
         if self.value_pool < 1:
             raise ConfigurationError(f"value_pool must be >= 1, got {self.value_pool}")
+        if self.sampler not in SAMPLER_MODES:
+            raise ConfigurationError(
+                f"sampler must be one of {SAMPLER_MODES}, got {self.sampler!r}"
+            )
 
     def compile(
         self,
@@ -151,6 +218,8 @@ class WorkloadSpec:
         parts = [f"n={self.n_txns}", self.popularity]
         if self.popularity == "zipf":
             parts.append(f"s={self.zipf_s:g}")
+            if self.sampler != "scan":
+                parts.append(self.sampler)
         if self.read_fraction:
             parts.append(f"reads={self.read_fraction:.0%}")
         parts.append(f"footprint={self.footprint[0]}-{self.footprint[1]}")
@@ -181,8 +250,18 @@ class CompiledWorkload:
             self._weights = [
                 1.0 / (rank**spec.zipf_s) for rank in range(1, len(self._names) + 1)
             ]
+            # the scan sampler's normalizer, summed once here in the
+            # same order the per-draw sum() used, so the product
+            # rng.random() * total is bit-identical to the historical
+            # per-call recomputation.
+            self._weight_total = sum(self._weights)
         else:
             self._weights = None
+            self._weight_total = 0.0
+        if spec.sampler == "alias" and self._weights is not None:
+            self._alias_prob, self._alias = build_alias_table(self._weights)
+        else:
+            self._alias_prob = self._alias = None
         # per-item foreign-site pools for the cross-region pattern: all
         # sites of regions hosting no copy of the item.
         self._foreign: dict[str, list[int]] = {}
@@ -213,22 +292,41 @@ class CompiledWorkload:
     # item / origin selection
     # ------------------------------------------------------------------
 
-    def _weighted_pick(self, rng: random.Random, names: list[str], weights: list[float]) -> int:
-        """Index of one weighted draw (one ``rng.random()``)."""
-        x = rng.random() * sum(weights)
+    def _weighted_pick(self, rng: random.Random, weights: list[float], total: float) -> int:
+        """Index of one cumulative-scan draw (one ``rng.random()``).
+
+        ``total`` is the caller's normalizer: the precomputed full-list
+        total for single picks, the shrunk working list's ``sum`` for
+        the without-replacement loop — either way the exact float the
+        historical per-call ``sum(weights)`` produced.
+        """
+        x = rng.random() * total
         acc = 0.0
         for i, weight in enumerate(weights):
             acc += weight
             if x < acc:
                 return i
-        return len(names) - 1
+        return len(weights) - 1
+
+    def _alias_pick(self, rng: random.Random) -> int:
+        """Index of one alias-table draw (one ``rng.random()``, O(1)).
+
+        The standard one-uniform trick: the integer part of
+        ``u * n`` picks the cell, the fractional part decides between
+        the cell and its alias.
+        """
+        u = rng.random() * len(self._alias_prob)
+        i = int(u)
+        return i if (u - i) < self._alias_prob[i] else self._alias[i]
 
     def pick_item(self, rng: random.Random) -> str:
         """One item by popularity (uniform: one ``choice``; zipf: one
         ``random``)."""
         if self._weights is None:
             return rng.choice(self._names)
-        return self._names[self._weighted_pick(rng, self._names, self._weights)]
+        if self._alias_prob is not None:
+            return self._names[self._alias_pick(rng)]
+        return self._names[self._weighted_pick(rng, self._weights, self._weight_total)]
 
     def pick_items(self, rng: random.Random) -> list[str]:
         """An update transaction's item footprint, first item first."""
@@ -238,11 +336,39 @@ class CompiledWorkload:
         n = rng.randint(lo, min(hi, len(self._names)))
         if self._weights is None:
             return rng.sample(self._names, n)
+        if self._alias_prob is not None:
+            # rejection-on-alias: O(1) draws, retried on duplicates —
+            # for n << catalog size this beats rebuilding per draw; a
+            # hot item that is already picked just re-rolls.  The draw
+            # budget bounds the degenerate regime (n a large fraction
+            # of a skewed catalog, where the unpicked tail carries
+            # vanishing mass and rejection would spin); exhausting it
+            # falls back to the bounded scan loop for the remainder —
+            # still deterministic, since the budget spends a fixed
+            # number of draws before the switch.
+            names = self._names
+            picked: list[str] = []
+            seen: set[int] = set()
+            budget = 16 * n + 64
+            while len(picked) < n and budget:
+                budget -= 1
+                i = self._alias_pick(rng)
+                if i not in seen:
+                    seen.add(i)
+                    picked.append(names[i])
+            if len(picked) < n:
+                rest_names = [nm for j, nm in enumerate(names) if j not in seen]
+                rest_weights = [w for j, w in enumerate(self._weights) if j not in seen]
+                for __ in range(n - len(picked)):
+                    i = self._weighted_pick(rng, rest_weights, sum(rest_weights))
+                    picked.append(rest_names.pop(i))
+                    rest_weights.pop(i)
+            return picked
         names = list(self._names)
         weights = list(self._weights)
         picked = []
         for __ in range(n):  # weighted, without replacement
-            i = self._weighted_pick(rng, names, weights)
+            i = self._weighted_pick(rng, weights, sum(weights))
             picked.append(names.pop(i))
             weights.pop(i)
         return picked

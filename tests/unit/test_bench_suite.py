@@ -91,6 +91,10 @@ class TestSuite:
             "trace_record",
             "partition_churn",
             "suite_warm_pool",
+            "net_fanout_flyweight",
+            "zipf_sampling",
+            "recovery_replay",
+            "catalog_memo",
         ]
         with pytest.raises(ValueError, match="unknown scale"):
             default_suite("huge")

@@ -6,7 +6,9 @@ import pytest
 
 from repro.sim.failures import CrashSite, PartitionNetwork
 from repro.workload.generators import (
+    CATALOG_MEMO_LIMIT,
     _deal_stragglers,
+    memoized_catalog,
     random_catalog,
     random_fault_plan,
     random_partition_groups,
@@ -149,3 +151,60 @@ class TestRandomFaultPlan:
         )
         crashes = [a for a in plan.actions if isinstance(a, CrashSite)]
         assert len(crashes) <= 2
+
+
+class TestMemoizedCatalog:
+    """State-capture memoization must never shift the caller's stream."""
+
+    def _build(self, r):
+        return random_catalog(r, n_sites=6, n_items=4, replication=3)
+
+    def test_hit_restores_stream_exactly(self):
+        from repro.engine.executor import clear_worker_cache
+
+        clear_worker_cache()
+        key = ("memo-test", 6, 4, 3)
+        direct_rng = random.Random(99)
+        direct = self._build(direct_rng)
+        miss_rng = random.Random(99)
+        missed = memoized_catalog(miss_rng, key, self._build)
+        hit_rng = random.Random(99)
+        fetched = memoized_catalog(hit_rng, key, self._build)
+        assert fetched is missed  # genuinely cached, not rebuilt
+        assert fetched.item_names == direct.item_names
+        assert all(
+            fetched.sites_of(i) == direct.sites_of(i) for i in direct.item_names
+        )
+        # the draws after the build are bit-identical on all three paths
+        probes = [r.random() for r in (direct_rng, miss_rng, hit_rng)]
+        assert probes[0] == probes[1] == probes[2]
+
+    def test_different_pre_state_misses(self):
+        from repro.engine.executor import clear_worker_cache
+
+        clear_worker_cache()
+        key = ("memo-test-seeded", 6, 4, 3)
+        a = memoized_catalog(random.Random(1), key, self._build)
+        b = memoized_catalog(random.Random(2), key, self._build)
+        assert a is not b  # different seed, different catalog
+
+    def test_mutable_returns_isolated_fork(self):
+        from repro.engine.executor import clear_worker_cache
+
+        clear_worker_cache()
+        key = ("memo-test-mutable", 6, 4, 3)
+        first = memoized_catalog(random.Random(7), key, self._build, mutable=True)
+        item = first.item_names[0]
+        first.admit_site(99, {item: 1})
+        second = memoized_catalog(random.Random(7), key, self._build, mutable=True)
+        assert 99 in first.sites_of(item)
+        assert 99 not in second.sites_of(item)  # the cached original is pristine
+
+    def test_memo_is_fifo_bounded(self):
+        from repro.engine.executor import clear_worker_cache, worker_cache
+
+        clear_worker_cache()
+        for seed in range(CATALOG_MEMO_LIMIT + 10):
+            memoized_catalog(random.Random(seed), ("memo-test-bound", 6), self._build)
+        memo = worker_cache(("catalog-memo", "memo-test-bound"), dict)
+        assert len(memo) <= CATALOG_MEMO_LIMIT

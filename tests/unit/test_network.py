@@ -244,6 +244,68 @@ class TestViewInterning:
             assert network.partition.sorted_components() == other.partition.sorted_components()
 
 
+class TestFanoutFlyweight:
+    def _network(self, flyweight):
+        scheduler = Scheduler()
+        network = Network(scheduler, Tracer(), RngRegistry(0), flyweight=flyweight)
+        nodes = {i: Recorder(i, network) for i in (1, 2, 3)}
+        return scheduler, network, nodes
+
+    def test_stamps_deliver_like_messages(self):
+        from repro.net.message import MessageStamp
+
+        scheduler, network, nodes = self._network(flyweight=True)
+        payload = {"k": 7}
+        network.fanout(1, [2, 3], "test.ping", "T1", payload)
+        scheduler.run()
+        for node_id in (2, 3):
+            (msg,) = nodes[node_id].received
+            assert isinstance(msg, MessageStamp)
+            assert (msg.src, msg.dst, msg.mtype, msg.txn) == (1, node_id, "test.ping", "T1")
+            assert msg.payload is payload  # envelope shared, by contract
+        ids = [nodes[2].received[0].msg_id, nodes[3].received[0].msg_id]
+        assert ids[0] != ids[1]
+
+    def test_legacy_flag_builds_full_messages(self):
+        scheduler, network, nodes = self._network(flyweight=False)
+        network.fanout(1, [2, 3], "test.ping", "T1")
+        scheduler.run()
+        assert all(type(n.received[0]) is Message for n in (nodes[2], nodes[3]))
+
+    def test_counters_and_trace_identical_across_modes(self):
+        tallies = []
+        for flyweight in (False, True):
+            scheduler, network, nodes = self._network(flyweight)
+            network.fanout(1, [1, 2, 3, 9], "test.ping", "T1")  # 9 unknown
+            network.crash_site(3)
+            network.fanout(1, [2, 3], "test.ping", "T1")
+            scheduler.run()
+            tracer = network.tracer
+            tallies.append(
+                (
+                    network.sent,
+                    network.delivered,
+                    network.dropped,
+                    tracer.count("send"),
+                    tracer.count("deliver"),
+                    tracer.count("drop"),
+                    len(nodes[2].received),
+                )
+            )
+        assert tallies[0] == tallies[1]
+
+    def test_slow_path_still_used_with_filters(self):
+        # filters disable the fast path entirely; the flyweight never
+        # bypasses the per-message fault evaluation
+        scheduler, network, nodes = self._network(flyweight=True)
+        network.add_filter(lambda m: m.dst == 2)
+        network.fanout(1, [2, 3], "test.ping", "T1")
+        scheduler.run()
+        assert nodes[2].received == []
+        assert len(nodes[3].received) == 1
+        assert type(nodes[3].received[0]) is Message
+
+
 class TestMessage:
     def test_family_prefix(self):
         msg = Message(1, 2, "qtp1.vote-req", "T1")

@@ -157,3 +157,74 @@ class TestRecovery:
         wal.force("T1", "begin")
         wal.force("T1", "vote", vote="no")
         assert recover_protocol_states(wal)["T1"] is TxnState.Q
+
+
+def _messy_wal(site: int, group_commit: bool) -> WriteAheadLog:
+    """A WAL with stale, duplicate and non-hosted apply records."""
+    wal = WriteAheadLog(site, group_commit=group_commit)
+    wal.force("T1", "begin")
+    wal.force("T1", "apply", item="x", value=10, version=1)
+    wal.force("T1", "commit")
+    wal.force("T2", "begin")
+    wal.force("T2", "apply", item="x", value=20, version=3)  # ladder jump
+    wal.force("T2", "apply", item="y", value=5, version=1)
+    wal.force("T2", "commit")
+    wal.force("T3", "begin")
+    wal.force("T3", "apply", item="x", value=20, version=3)  # exact duplicate
+    wal.force("T3", "apply", item="ghost", value=9, version=4)  # never hosted
+    wal.force("T3", "apply", item="y", value=4, version=1)  # stale duplicate
+    wal.force("T3", "commit")
+    return wal
+
+
+def _fresh_store(site: int) -> ReplicaStore:
+    store = ReplicaStore(site)
+    store.host("x", value=0, version=0)
+    store.host("y", value=0, version=2)  # already newer than every y apply
+    return store
+
+
+class TestIndexedReplay:
+    """The per-item apply index must replay exactly what the scan did."""
+
+    def test_indexed_matches_full_scan_state(self):
+        wal = _messy_wal(1, group_commit=True)
+        scanned = _fresh_store(1)
+        replay_data(wal, scanned, full_scan=True)
+        indexed = _fresh_store(1)
+        replay_data(wal, indexed)
+        assert indexed.snapshot() == scanned.snapshot()
+        assert indexed.read("x").version == 3
+        assert indexed.read("x").value == 20
+        assert indexed.read("y").version == 2  # stale applies skipped
+
+    def test_indexed_installs_only_newest_version(self):
+        # the scan walks x through v1 then v3 (two installs); the index
+        # jumps straight to v3 (one install) — same final state
+        wal = _messy_wal(1, group_commit=True)
+        assert replay_data(wal, _fresh_store(1), full_scan=True) == 2
+        assert replay_data(wal, _fresh_store(1)) == 1
+
+    def test_latest_applies_tracks_newest_per_item(self):
+        wal = _messy_wal(1, group_commit=True)
+        assert wal.latest_applies() == {
+            "x": (3, 20),
+            "y": (1, 5),
+            "ghost": (4, 9),
+        }
+
+    def test_legacy_wal_has_no_index_and_falls_back(self):
+        legacy = _messy_wal(1, group_commit=False)
+        assert legacy.latest_applies() is None
+        store = _fresh_store(1)
+        replayed = replay_data(legacy, store)  # silently takes the full scan
+        reference = _fresh_store(1)
+        replay_data(_messy_wal(1, group_commit=True), reference, full_scan=True)
+        assert store.snapshot() == reference.snapshot()
+        assert replayed == 2  # the scan's install count, not the index's
+
+    def test_indexed_replay_is_idempotent(self):
+        wal = _messy_wal(1, group_commit=True)
+        store = _fresh_store(1)
+        replay_data(wal, store)
+        assert replay_data(wal, store) == 0
