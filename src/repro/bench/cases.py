@@ -934,6 +934,58 @@ def suite_warm_pool_trial(
 
 
 # ----------------------------------------------------------------------
+# trace-replay tournament
+# ----------------------------------------------------------------------
+
+
+def trace_replay_trial(
+    seed: int, configs: tuple[str, ...], n_txns: int, n_sites: int
+) -> dict[str, Any]:
+    """Record one E18 heavy-traffic run and replay it against the
+    what-if configuration matrix.
+
+    The trace is harvested once per worker (``worker_cache`` — the
+    recording is deterministic, so every repeat shares it); each named
+    configuration then replays the identical op + failure stream and
+    contributes its diff-table counters.  The ``recorded``
+    configuration doubles as the record→replay fixed-point check: its
+    ``fixed_point`` counter pins that replaying a recording of config C
+    under config C reproduces the original deterministic counters.
+    """
+    from repro.replay import (
+        DEFAULT_CONFIGS,
+        fixed_point_ok,
+        record_heavy_workload,
+        replay_trace,
+    )
+
+    trace = worker_cache(
+        ("replay-trace", seed, n_txns, n_sites),
+        lambda: record_heavy_workload("qtp1", seed=seed, n_txns=n_txns, n_sites=n_sites),
+    )
+    by_name = {c.name: c for c in DEFAULT_CONFIGS}
+    t0 = time.perf_counter()
+    counters: dict[str, Any] = {}
+    for name in configs:
+        row = replay_trace(trace, by_name[name])
+        if name == "recorded":
+            counters["fixed_point"] = fixed_point_ok(trace, row)
+        for key in (
+            "committed",
+            "protocol_aborted",
+            "client_aborted",
+            "blocked",
+            "skipped_ops",
+            "messages_sent",
+            "events_run",
+            "wal_forced",
+        ):
+            counters[f"{name}_{key}"] = row[key]
+        counters[f"{name}_latency"] = round(row["mean_commit_latency"], 6)
+    return {"counters": counters, "timing": {"wall_s": time.perf_counter() - t0}}
+
+
+# ----------------------------------------------------------------------
 # the default suite
 # ----------------------------------------------------------------------
 
@@ -998,6 +1050,8 @@ _SCALES = {
         "recovery_txns": 260,
         "recovery_replays": 5,
         "memo_reuses": 12,
+        "replay_txns": 60,
+        "replay_sites": 8,
         "repeats": 3,
     },
     "quick": {
@@ -1027,6 +1081,8 @@ _SCALES = {
         "recovery_txns": 40,
         "recovery_replays": 1,
         "memo_reuses": 4,
+        "replay_txns": 16,
+        "replay_sites": 6,
         "repeats": 1,
     },
 }
@@ -1270,6 +1326,22 @@ def default_suite(scale: str = "full") -> BenchSuite:
                 ),
                 repeats=repeats,
                 derived=ab_speedup("memo"),
+            ),
+            BenchCase(
+                name="trace_replay_tournament",
+                spec=SweepSpec(
+                    name="bench-trace-replay-tournament",
+                    task=trace_replay_trial,
+                    grid={},
+                    runs=2,
+                    seeding="offset",
+                    fixed={
+                        "configs": ["recorded", "2pc", "3pc", "rowa"],
+                        "n_txns": s["replay_txns"],
+                        "n_sites": s["replay_sites"],
+                    },
+                ),
+                repeats=repeats,
             ),
         ]
     )

@@ -200,7 +200,9 @@ def storm_run(seed: int, protocol: str, waves: int = 3) -> tuple[bool, bool, int
     """One E13 sample; returns (consistent, terminated, term_attempts)."""
     registry = RngRegistry(seed)
     rng = registry.stream("storm")
-    catalog = random_catalog(rng, n_sites=6, n_items=3, replication=3)
+    catalog = memoized_catalog(
+        rng, ("e13-storm", 6, 3, 3), lambda r: random_catalog(r, n_sites=6, n_items=3, replication=3)
+    )
     origin, writes = random_update(rng, catalog, max_items=2)
     cluster = Cluster(catalog, protocol=protocol, seed=seed)
     txn = cluster.update(origin, writes)
@@ -285,7 +287,11 @@ def modelcheck_run(seed: int, protocol: str, heal: bool = True) -> bool:
     """One E14 schedule; returns whether termination stayed atomic."""
     registry = RngRegistry(seed)
     rng = registry.stream("modelcheck")
-    catalog = random_catalog(rng, n_sites=7, n_items=3, replication=3)
+    catalog = memoized_catalog(
+        rng,
+        ("e14-modelcheck", 7, 3, 3),
+        lambda r: random_catalog(r, n_sites=7, n_items=3, replication=3),
+    )
     origin, writes = random_update(rng, catalog, max_items=2)
     cluster = Cluster(catalog, protocol=protocol, seed=seed)
     txn = cluster.update(origin, writes)

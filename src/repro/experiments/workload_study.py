@@ -78,7 +78,11 @@ def run_workload(
     """
     registry = RngRegistry(seed)
     rng = registry.stream("workload")
-    catalog = random_catalog(rng, n_sites=6, n_items=4, replication=3)
+    catalog = memoized_catalog(
+        rng,
+        ("e17-workload", 6, 4, 3),
+        lambda r: random_catalog(r, n_sites=6, n_items=4, replication=3),
+    )
     cluster = Cluster(catalog, protocol=protocol, seed=seed)
     groups = random_partition_groups(rng, cluster.network.sites, 2)
     plan = (
@@ -185,74 +189,52 @@ def workload_study(
     return _fold_workload_rows(run_sweep(spec, workers=workers, store=store))
 
 
-def run_heavy_workload(
-    protocol: str,
-    seed: int = 0,
-    n_txns: int = 120,
-    n_sites: int = 12,
-    n_items: int = 8,
-    replication: int = 3,
-    mean_spacing: float = 1.5,
-    episodes: int = 2,
-    episode_length: float = 30.0,
-    gap: float = 20.0,
-    probe: "Callable[[Cluster], None] | None" = None,
-    workload: WorkloadSpec | None = None,
-) -> WorkloadResult:
-    """E18 (extension) — heavy traffic through repeated partition episodes.
+def heavy_failure_plan(
+    rng,
+    sites: list[int],
+    episodes: int,
+    episode_length: float,
+    gap: float,
+) -> FailurePlan:
+    """The E18 fault schedule: ``episodes`` random partition/heal cycles.
 
-    The large-scale sibling of :func:`run_workload`: Poisson arrivals
-    (many transactions genuinely in flight at once), a bigger database,
-    and ``episodes`` successive partition/heal cycles instead of one.
-    Each episode splits the network into 2–3 random components.  The
-    correctness bar is unchanged — every committed history must be
-    one-copy serializable and nothing may stay blocked after the final
-    heal — measured here under real contention.
-
-    The transaction stream comes from a
-    :class:`~repro.workload.spec.WorkloadSpec`: the default spec
-    (uniform popularity, single-item read-modify-write, Poisson
-    arrivals from ``n_txns`` / ``mean_spacing``) replays the historical
-    stream draw-for-draw, and passing ``workload`` opens the other
-    regimes — Zipf skew, read-mostly mixes, wider footprints (the
-    spec's ``n_txns`` / spacing then replace the arguments).  Read-only
-    operations commit on the client-side fast path and are tallied in
-    ``reads_committed``.
-
-    ``probe``, if given, is called with the finished :class:`Cluster`
-    just before the result is assembled — the benchmark harness uses it
-    to harvest network / WAL / scheduler counters without widening the
-    return type.
+    Each episode splits ``sites`` into 2–3 random components for
+    ``episode_length`` virtual seconds, with ``gap`` of full
+    connectivity before and between episodes.  Extracted so replay
+    harnesses can substitute a recorded plan for a generated one.
     """
-    registry = RngRegistry(seed)
-    rng = registry.stream("heavy-workload")
-    # pure function of (stream state, shape): protocols replaying the
-    # same seed fetch the catalog instead of rebuilding it per trial
-    catalog = memoized_catalog(
-        rng,
-        ("heavy-workload", n_sites, n_items, replication),
-        lambda r: random_catalog(r, n_sites=n_sites, n_items=n_items, replication=replication),
-    )
-    spec = workload if workload is not None else WorkloadSpec(
-        n_txns=n_txns, mean_spacing=mean_spacing
-    )
-    compiled = spec.compile(catalog)
-    cluster = Cluster(catalog, protocol=protocol, seed=seed)
     plan = FailurePlan()
     t = gap
     for _ in range(episodes):
-        groups = random_partition_groups(rng, cluster.network.sites, rng.choice([2, 2, 3]))
+        groups = random_partition_groups(rng, sites, rng.choice([2, 2, 3]))
         plan.partition(t, *groups)
         plan.heal(t + episode_length)
         t += episode_length + gap
-    cluster.arm_failures(plan)
+    return plan
 
+
+def drive_stream(cluster, compiled, rng) -> tuple[dict[str, str], dict[str, object]]:
+    """The E18 driver loop: feed a compiled op stream into a cluster.
+
+    Schedules one client submission per arrival, runs the cluster to
+    quiescence, and returns ``(outcomes, handles)`` — the client-side
+    outcome per transaction (``"read-committed"`` / ``"client-aborted"``
+    so far; protocol verdicts are filled in by :func:`tally_stream`) and
+    the submitted handles awaiting a verdict.
+
+    ``compiled`` is anything satisfying the
+    :class:`~repro.workload.spec.CompiledWorkload` generator contract
+    (``arrivals`` + ``next_op``) — a compiled spec or a
+    :class:`~repro.replay.RecordedWorkload` replaying a harvested
+    stream.  This split of *stream source* from *driver loop* is what
+    makes a recorded trace just another workload.
+    """
     outcomes: dict[str, str] = {}
     handles: dict[str, object] = {}
 
     def submit_one(index: int) -> None:
         op = compiled.next_op(rng)
-        if not cluster.sites[op.origin].alive:
+        if op.origin not in cluster.sites or not cluster.sites[op.origin].alive:
             return
         txn = cluster.transaction(op.origin)
         try:
@@ -278,7 +260,22 @@ def run_heavy_workload(
     for i, at in enumerate(compiled.arrivals(rng)):
         cluster.scheduler.call_at(at, submit_one, i)
     cluster.run()
+    return outcomes, handles
 
+
+def tally_stream(
+    protocol: str,
+    cluster: Cluster,
+    outcomes: dict[str, str],
+    handles: dict[str, object],
+    probe: "Callable[[Cluster], None] | None" = None,
+) -> WorkloadResult:
+    """Resolve submitted handles against protocol verdicts and tally.
+
+    ``probe`` runs after the verdict loop, just before the result is
+    assembled — the historical hook position, preserved so harvested
+    counters are byte-identical to the pre-split driver.
+    """
     committed = protocol_aborted = blocked = 0
     for txn in handles:
         report = cluster.outcome(txn)
@@ -308,6 +305,76 @@ def run_heavy_workload(
         txn_outcomes=outcomes,
         reads_committed=reads_committed,
     )
+
+
+def run_heavy_workload(
+    protocol: str,
+    seed: int = 0,
+    n_txns: int = 120,
+    n_sites: int = 12,
+    n_items: int = 8,
+    replication: int = 3,
+    mean_spacing: float = 1.5,
+    episodes: int = 2,
+    episode_length: float = 30.0,
+    gap: float = 20.0,
+    probe: "Callable[[Cluster], None] | None" = None,
+    workload: object | None = None,
+    catalog: object | None = None,
+    failures: FailurePlan | None = None,
+) -> WorkloadResult:
+    """E18 (extension) — heavy traffic through repeated partition episodes.
+
+    The large-scale sibling of :func:`run_workload`: Poisson arrivals
+    (many transactions genuinely in flight at once), a bigger database,
+    and ``episodes`` successive partition/heal cycles instead of one.
+    Each episode splits the network into 2–3 random components.  The
+    correctness bar is unchanged — every committed history must be
+    one-copy serializable and nothing may stay blocked after the final
+    heal — measured here under real contention.
+
+    The transaction stream comes from a
+    :class:`~repro.workload.spec.WorkloadSpec`: the default spec
+    (uniform popularity, single-item read-modify-write, Poisson
+    arrivals from ``n_txns`` / ``mean_spacing``) replays the historical
+    stream draw-for-draw, and passing ``workload`` opens the other
+    regimes — Zipf skew, read-mostly mixes, wider footprints (the
+    spec's ``n_txns`` / spacing then replace the arguments).  Anything
+    without a ``compile`` method is taken to *be* a compiled stream
+    already (e.g. a :class:`~repro.replay.RecordedWorkload` replaying a
+    harvested trace) and is driven as-is.  Read-only operations commit
+    on the client-side fast path and are tallied in
+    ``reads_committed``.
+
+    ``catalog`` / ``failures`` override the generated placement and
+    fault schedule — the replay tournament pins all three (stream,
+    catalog, plan) from a recorded artifact, leaving this function as
+    pure driver loop.  ``probe``, if given, is called with the finished
+    :class:`Cluster` just before the result is assembled — the
+    benchmark harness uses it to harvest network / WAL / scheduler
+    counters without widening the return type.
+    """
+    registry = RngRegistry(seed)
+    rng = registry.stream("heavy-workload")
+    if catalog is None:
+        # pure function of (stream state, shape): protocols replaying the
+        # same seed fetch the catalog instead of rebuilding it per trial
+        catalog = memoized_catalog(
+            rng,
+            ("heavy-workload", n_sites, n_items, replication),
+            lambda r: random_catalog(r, n_sites=n_sites, n_items=n_items, replication=replication),
+        )
+    spec = workload if workload is not None else WorkloadSpec(
+        n_txns=n_txns, mean_spacing=mean_spacing
+    )
+    compiled = spec.compile(catalog) if hasattr(spec, "compile") else spec
+    cluster = Cluster(catalog, protocol=protocol, seed=seed)
+    if failures is None:
+        failures = heavy_failure_plan(rng, cluster.network.sites, episodes, episode_length, gap)
+    cluster.arm_failures(failures)
+
+    outcomes, handles = drive_stream(cluster, compiled, rng)
+    return tally_stream(protocol, cluster, outcomes, handles, probe=probe)
 
 
 def heavy_traffic_study(

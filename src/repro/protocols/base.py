@@ -181,7 +181,10 @@ class TxnRecord:
         """(Re)arm a named timer; the previous timer of that label dies."""
         self.cancel_timer(label)
         if delay <= 0:
-            node.network.scheduler.call_after(0, fn, *args, label=label)
+            # fires on the very next tick and is never cancelled (nothing
+            # holds a handle to it), so it can skip the EventHandle
+            # allocation entirely.
+            node.network.scheduler.call_fixed_after(0, fn, *args)
             return
         self._timers[label] = node.set_timer(delay, fn, *args, label=label)
 
@@ -429,6 +432,16 @@ class CommitProtocolEngine(ElectionMixin, ABC):
         if round_.phase == "done":
             return
         round_.phase = "done"
+        prior = self.wal.decision(round_.txn)
+        if prior is not None and prior != outcome:
+            # A termination attempt on this site already decided the
+            # other way while the original round was still collecting
+            # replies (e.g. late PC-acks crossing a partition after the
+            # watchdog aborted).  Decisions are irrevocable and the
+            # terminator has already informed the participants — the
+            # original round stands down.
+            self.node.trace("coord-stale-round", round_.txn, outcome=outcome, decided=prior)
+            return
         self.wal.force(round_.txn, outcome, role="coordinator")
         self.node.trace("coord-decision", round_.txn, outcome=outcome)
         self.node.multicast(round_.participants, self._m(outcome), round_.txn)

@@ -1,0 +1,183 @@
+"""``python -m repro.replay`` — the record / replay / diff CLI.
+
+Subcommands:
+
+* ``record`` — run a driver (E18 heavy traffic or E21 WAN storm) and
+  write its full trace to a compressed, byte-stable artifact.
+* ``replay`` — replay a trace artifact, optionally under an alternative
+  configuration; without overrides the replay is fixed-point checked
+  against the recorded counters.
+* ``diff``   — replay one trace against a configuration matrix and
+  print the per-configuration diff table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.db.cluster import PROTOCOL_NAMES
+from repro.replay.artifact import RecordedTrace
+from repro.replay.recorder import record_heavy_workload, record_wan_storm
+from repro.replay.tournament import (
+    DEFAULT_CONFIGS,
+    QUORUM_POLICIES,
+    TournamentConfig,
+    fixed_point_ok,
+    format_diff_table,
+    replay_trace,
+    run_tournament,
+)
+
+
+def _add_overrides(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--protocol",
+        choices=list(PROTOCOL_NAMES),
+        help="replay under this commit protocol (default: as recorded)",
+    )
+    parser.add_argument(
+        "--quorum",
+        choices=list(QUORUM_POLICIES),
+        default="recorded",
+        help="quorum policy for the replayed catalog (default: recorded)",
+    )
+    parser.add_argument(
+        "--drop-sites",
+        type=int,
+        default=0,
+        metavar="N",
+        help="shrink the installation by the N highest-numbered hosting "
+        "sites; unhosted recorded ops are skipped and tallied",
+    )
+    parser.add_argument(
+        "--crash-origin-at",
+        type=float,
+        metavar="T",
+        help="extra fault: crash the recorded coordinator at virtual time T",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.replay",
+        description="record driver runs as trace artifacts and replay them "
+        "under what-if configurations",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser("record", help="run a driver and write its trace")
+    record.add_argument(
+        "--driver",
+        choices=["heavy_workload", "wan_storm"],
+        default="heavy_workload",
+        help="which driver to record (default: heavy_workload)",
+    )
+    record.add_argument(
+        "--protocol",
+        choices=list(PROTOCOL_NAMES),
+        default="qtp1",
+        help="commit protocol for the recorded run (default: qtp1)",
+    )
+    record.add_argument("--seed", type=int, default=0, help="run seed (default 0)")
+    record.add_argument(
+        "--n-txns",
+        type=int,
+        default=120,
+        help="heavy-workload stream length (default 120; ignored for wan_storm)",
+    )
+    record.add_argument(
+        "--out",
+        default="trace.jsonl.gz",
+        help="artifact path (default: trace.jsonl.gz)",
+    )
+
+    replay = sub.add_parser("replay", help="replay a trace artifact")
+    replay.add_argument("trace", help="trace artifact path")
+    _add_overrides(replay)
+
+    diff = sub.add_parser("diff", help="tournament diff table over one trace")
+    diff.add_argument("trace", help="trace artifact path")
+    diff.add_argument(
+        "--config",
+        action="append",
+        dest="configs",
+        metavar="NAME",
+        help="restrict to one default config (repeatable: recorded, 2pc, "
+        "3pc, rowa; default: all)",
+    )
+    diff.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process count for the tournament sweep (default 1; rows are "
+        "identical at every worker count)",
+    )
+    return parser
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    if args.driver == "wan_storm":
+        trace = record_wan_storm(args.protocol, seed=args.seed)
+    else:
+        trace = record_heavy_workload(args.protocol, seed=args.seed, n_txns=args.n_txns)
+    trace.save(args.out)
+    print(
+        f"recorded {trace.driver} protocol={trace.protocol} seed={trace.seed}: "
+        f"{len(trace.ops)} ops, {len(trace.updates)} updates, "
+        f"{len(trace.actions)} fault actions -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    trace = RecordedTrace.load(args.trace)
+    overridden = bool(
+        args.protocol or args.quorum != "recorded" or args.drop_sites
+        or args.crash_origin_at is not None
+    )
+    config = TournamentConfig(
+        name="cli" if overridden else "recorded",
+        protocol=args.protocol,
+        quorum=args.quorum,
+        drop_sites=args.drop_sites,
+        crash_origin_at=args.crash_origin_at,
+    )
+    row = replay_trace(trace, config)
+    print(json.dumps(row, sort_keys=True, indent=2))
+    if overridden:
+        return 0
+    if fixed_point_ok(trace, row):
+        print("fixed point: replay reproduces the recorded counters")
+        return 0
+    print("FIXED POINT VIOLATION: replay diverged from the recorded counters")
+    return 1
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    trace = RecordedTrace.load(args.trace)
+    configs = DEFAULT_CONFIGS
+    if args.configs:
+        by_name = {c.name: c for c in DEFAULT_CONFIGS}
+        unknown = [n for n in args.configs if n not in by_name]
+        if unknown:
+            print(f"unknown config(s) {unknown}; choose from {sorted(by_name)}")
+            return 2
+        configs = tuple(by_name[n] for n in args.configs)
+    rows = run_tournament(trace, configs, workers=args.workers)
+    print(format_diff_table(rows))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "record":
+        return _cmd_record(args)
+    if args.command == "replay":
+        return _cmd_replay(args)
+    return _cmd_diff(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

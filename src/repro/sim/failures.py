@@ -191,9 +191,13 @@ class FailureInjector:
         self.applied: list[FailureAction] = []
 
     def arm(self, plan: FailurePlan) -> None:
-        """Schedule every action in the plan at its virtual time."""
+        """Schedule every action in the plan at its virtual time.
+
+        Armed actions are never cancelled — a plan is the run's destiny —
+        so they ride the scheduler's handle-free ``call_fixed`` entries.
+        """
         for action in plan.actions:
-            self._scheduler.call_at(action.time, self._apply, action, label="failure")
+            self._scheduler.call_fixed(action.time, self._apply, action)
 
     def _apply(self, action: FailureAction) -> None:
         net = self._network

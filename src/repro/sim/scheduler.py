@@ -161,6 +161,19 @@ class Scheduler:
         self._pending += 1
         heapq.heappush(self._queue, (time, self._seq, (fn, args)))
 
+    def call_fixed_after(self, delay: float, fn: Callable[..., None], *args: Any) -> None:
+        """Schedule a *non-cancellable* event after a relative ``delay >= 0``.
+
+        The hot-path sibling of :meth:`call_after`, as :meth:`call_fixed`
+        is of :meth:`call_at`: no :class:`EventHandle` is allocated.  Used
+        for timers that are armed once and never cancelled (failure-plan
+        actions, fire-immediately protocol timers); ``pending`` and
+        ``events_run`` accounting is identical to the handle-carrying path.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self.call_fixed(self._now + delay, fn, *args)
+
     def step(self) -> bool:
         """Run the single next pending event.
 

@@ -120,6 +120,12 @@ class Tracer:
         self._columnar = columnar
         self._ring = ring
         self._dropped = 0
+        # string-interning table for repeated txn / mtype / category
+        # keys: drivers build ids like f"T{n}" per record, so without
+        # canonicalization a long trace stores thousands of duplicate
+        # string objects.  Values are equal either way — dumps and all
+        # queries are byte-identical — this is purely a memory win.
+        self._strings: dict[str, str] = {}
         if columnar:
             # parallel columns; one logical record = one row across all five
             self._times: list[float] = []
@@ -160,14 +166,14 @@ class Tracer:
     def record_send(self, time: float, site: int, txn: str, mtype: str, dst: int) -> None:
         """Fast-path append of a ``send`` record (no detail dict built)."""
         if self._columnar:
-            self._append(time, site, "send", txn, (mtype, dst))
+            self._append(time, site, "send", txn, (self._intern(mtype), dst))
         else:
             self.record(time, site, "send", txn, mtype=mtype, dst=dst)
 
     def record_deliver(self, time: float, site: int, txn: str, mtype: str, src: int) -> None:
         """Fast-path append of a ``deliver`` record."""
         if self._columnar:
-            self._append(time, site, "deliver", txn, (mtype, src))
+            self._append(time, site, "deliver", txn, (self._intern(mtype), src))
         else:
             self.record(time, site, "deliver", txn, mtype=mtype, src=src)
 
@@ -176,9 +182,16 @@ class Tracer:
     ) -> None:
         """Fast-path append of a ``drop`` record (with its reason)."""
         if self._columnar:
-            self._append(time, site, "drop", txn, (mtype, dst, reason))
+            self._append(time, site, "drop", txn, (self._intern(mtype), dst, reason))
         else:
             self.record(time, site, "drop", txn, mtype=mtype, dst=dst, reason=reason)
+
+    def _intern(self, s: str) -> str:
+        """The canonical instance of a repeated key string (see __init__)."""
+        canonical = self._strings.get(s)
+        if canonical is None:
+            canonical = self._strings[s] = s
+        return canonical
 
     def _append(self, time: float, site: int, category: str, txn: str, detail: Any) -> None:
         cap = self._capacity

@@ -128,7 +128,9 @@ class WriteAheadLog:
                     f"site {self.site}: txn {txn} already logged {prior}; "
                     f"cannot log {kind}"
                 )
-        record = LogRecord(self._next_lsn, txn, kind, dict(payload))
+        # the **payload kwargs dict is freshly built per call, so the
+        # record can take ownership outright — no defensive re-copy.
+        record = LogRecord(self._next_lsn, txn, kind, payload)
         self._next_lsn += 1
         self._records.append(record)
         if not self._group_commit:

@@ -31,6 +31,7 @@ from repro.replication.catalog import CatalogBuilder, ReplicaCatalog
 from repro.sim.failures import FailurePlan
 from repro.sim.rng import RngRegistry
 from repro.workload.generators import (
+    memoized_catalog,
     region_storm_plan,
     wan_catalog,
     wan_regions,
@@ -140,7 +141,10 @@ def run_wan_storm(
     region_replication: int = 3,
     waves: int = 4,
     heal: bool = False,
-    workload: WorkloadSpec | None = None,
+    workload: "WorkloadSpec | object | None" = None,
+    catalog: "ReplicaCatalog | None" = None,
+    failures: FailurePlan | None = None,
+    probe=None,
 ) -> ScenarioResult:
     """A 32+-site WAN installation under a region-wise partition storm.
 
@@ -162,29 +166,48 @@ def run_wan_storm(
     components (the E11 question).  With ``heal=True`` the network
     heals and the coordinator recovers, so the run asks the E13
     question instead: does every site terminate consistently?
+
+    ``workload`` may also be an already-compiled stream (anything
+    without a ``compile`` method, e.g. a
+    :class:`~repro.replay.RecordedWorkload`), and ``catalog`` /
+    ``failures`` pin the placement and fault schedule — together these
+    let the replay tournament re-run a recorded storm under an
+    alternative configuration.  ``probe``, if given, sees the finished
+    :class:`~repro.db.cluster.Cluster` before the report is assembled.
     """
     registry = RngRegistry(seed)
     rng = registry.stream("wan-storm")
-    catalog = wan_catalog(
-        rng,
-        n_regions=n_regions,
-        sites_per_region=sites_per_region,
-        n_items=n_items,
-        region_replication=region_replication,
-    )
+    if catalog is None:
+        catalog = memoized_catalog(
+            rng,
+            ("e21-wan-storm", n_regions, sites_per_region, n_items, region_replication),
+            lambda r: wan_catalog(
+                r,
+                n_regions=n_regions,
+                sites_per_region=sites_per_region,
+                n_items=n_items,
+                region_replication=region_replication,
+            ),
+        )
     regions = wan_regions(n_regions, sites_per_region)
     all_sites = [s for region in regions for s in region]
     cluster = Cluster(catalog, protocol=protocol, seed=seed, extra_sites=all_sites)
     spec = workload if workload is not None else WorkloadSpec(n_txns=1, footprint=(1, 3))
-    origin, writes = spec.compile(catalog, regions).next_update(rng)
+    compiled = spec.compile(catalog, regions) if hasattr(spec, "compile") else spec
+    origin, writes = compiled.next_update(rng)
     txn = cluster.update(origin, writes)
-    plan = region_storm_plan(rng, regions, waves=waves, heal=heal)
-    plan.crash(rng.uniform(1.0, 2.5), origin)
-    if heal:
-        last = max(a.time for a in plan.actions)
-        plan.recover(last + 5.0, origin)
+    if failures is None:
+        plan = region_storm_plan(rng, regions, waves=waves, heal=heal)
+        plan.crash(rng.uniform(1.0, 2.5), origin)
+        if heal:
+            last = max(a.time for a in plan.actions)
+            plan.recover(last + 5.0, origin)
+    else:
+        plan = failures
     cluster.arm_failures(plan)
     cluster.run()
+    if probe is not None:
+        probe(cluster)
     return ScenarioResult(cluster, txn, cluster.outcome(txn.txn))
 
 

@@ -1,0 +1,46 @@
+"""Stream-identity checks for the memoized-catalog call sites.
+
+The experiment drivers that build their catalog through
+:func:`~repro.workload.catalog_memo.memoized_catalog` must be
+*bit-identical* to a cold build: the memo captures the pre-build RNG
+state and restores the post-build state on a hit, so a warm run draws
+the exact same stream as a cold one.  Each test clears the worker cache
+(cold), runs once to populate it, and asserts the warm rerun agrees on
+every deterministic output.
+"""
+
+from repro.engine.executor import clear_worker_cache
+from repro.experiments.sweeps import modelcheck_run, storm_run
+from repro.experiments.workload_study import run_workload
+from repro.replay import cluster_counters
+from repro.workload.scenarios import run_wan_storm
+
+
+class TestStreamIdentity:
+    def test_storm_run_cold_vs_warm(self):
+        clear_worker_cache()
+        cold = [storm_run(seed, "qtp1") for seed in range(3)]
+        warm = [storm_run(seed, "qtp1") for seed in range(3)]
+        assert cold == warm
+
+    def test_modelcheck_run_cold_vs_warm(self):
+        clear_worker_cache()
+        cold = [modelcheck_run(seed, "qtp2") for seed in range(3)]
+        warm = [modelcheck_run(seed, "qtp2") for seed in range(3)]
+        assert cold == warm
+
+    def test_run_workload_cold_vs_warm(self):
+        clear_worker_cache()
+        cold = run_workload("qtp1", n_txns=10, seed=4)
+        warm = run_workload("qtp1", n_txns=10, seed=4)
+        assert cold == warm
+
+    def test_run_wan_storm_cold_vs_warm(self):
+        clear_worker_cache()
+        probes = []
+        kwargs = dict(seed=2, n_regions=3, sites_per_region=4, probe=probes.append)
+        cold = run_wan_storm("qtp1", **kwargs)
+        warm = run_wan_storm("qtp1", **kwargs)
+        assert cold.outcome == warm.outcome
+        assert cold.states() == warm.states()
+        assert cluster_counters(probes[0]) == cluster_counters(probes[1])

@@ -41,6 +41,7 @@ QUICK_CASES = [
     "zipf_sampling",
     "recovery_replay",
     "catalog_memo",
+    "trace_replay_tournament",
 ]
 
 

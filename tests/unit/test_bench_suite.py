@@ -95,6 +95,7 @@ class TestSuite:
             "zipf_sampling",
             "recovery_replay",
             "catalog_memo",
+            "trace_replay_tournament",
         ]
         with pytest.raises(ValueError, match="unknown scale"):
             default_suite("huge")
