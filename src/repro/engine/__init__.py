@@ -41,9 +41,34 @@ through this engine; ``seeding="offset"`` replays the same scenario
 sequence in every cell (the paired-comparison design the paper's
 studies use), while the default ``"derived"`` hashing gives every cell
 an independent stream.
+
+Extreme-scale sweeps (10^5–10^6 cells) add two opt-in layers on top
+(see ``engine/README.md``):
+
+* **streaming result sinks** — ``run_sweep(..., sink=JsonlSink(path))``
+  pushes rows into a :class:`~repro.engine.sink.ResultSink` as they
+  complete instead of accumulating them, and
+  ``run_sweep(..., reduce=RowReducer(...))`` folds rows into exact
+  streaming aggregates per worker chunk; both keep sweep memory flat
+  in cell count while staying byte-identical across backends and
+  worker counts.
+* **zero-copy shared payloads** —
+  :class:`~repro.engine.shared.SharedPayload` handles let every task of
+  a huge sweep read one published catalog/trace instead of re-pickling
+  it per task.
 """
 
+from repro.engine.aggregate import (
+    Accumulator,
+    CountAcc,
+    MeanAcc,
+    QuantileDigest,
+    RowReducer,
+    merge_digests,
+    row_digest,
+)
 from repro.engine.executor import (
+    WORKER_CACHE_LIMIT,
     SweepOutcome,
     SweepRunner,
     default_chunksize,
@@ -54,10 +79,27 @@ from repro.engine.executor import (
     shutdown_shared_runners,
     worker_cache,
 )
+from repro.engine.shared import SharedPayload
+from repro.engine.sink import (
+    STREAM_KIND,
+    STREAM_SCHEMA,
+    CellFoldSink,
+    FoldSink,
+    JsonlSink,
+    MemorySink,
+    NoopSink,
+    PrintingSink,
+    ReducerSink,
+    ResultSink,
+    TeeSink,
+    iter_stream_rows,
+    load_stream,
+)
 from repro.engine.spec import RunResult, RunTask, SweepSpec, derive_seed
 from repro.engine.store import (
     SCHEMA_VERSION,
     ResultStore,
+    canonical_line,
     count_where,
     fraction_of,
     group_by,
@@ -68,24 +110,47 @@ from repro.engine.store import (
 
 __all__ = [
     "SCHEMA_VERSION",
+    "STREAM_KIND",
+    "STREAM_SCHEMA",
+    "WORKER_CACHE_LIMIT",
+    "Accumulator",
+    "CellFoldSink",
+    "CountAcc",
+    "FoldSink",
+    "JsonlSink",
+    "MeanAcc",
+    "MemorySink",
+    "NoopSink",
+    "PrintingSink",
+    "QuantileDigest",
+    "ReducerSink",
+    "ResultSink",
     "ResultStore",
+    "RowReducer",
     "RunResult",
     "RunTask",
+    "SharedPayload",
     "SweepOutcome",
     "SweepRunner",
+    "SweepSpec",
+    "TeeSink",
+    "canonical_line",
     "count_where",
     "default_chunksize",
     "default_workers",
     "derive_seed",
     "fraction_of",
     "group_by",
+    "iter_stream_rows",
     "jsonable",
+    "load_stream",
     "map_runs",
     "mean_of",
+    "merge_digests",
+    "row_digest",
     "run_sweep",
     "shared_runner",
     "shutdown_shared_runners",
-    "SweepSpec",
     "values_of",
     "worker_cache",
 ]

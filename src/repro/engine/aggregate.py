@@ -1,0 +1,339 @@
+"""Streaming aggregates: fold result rows without keeping them.
+
+A sweep of 10^5–10^6 cells cannot hold its raw rows in RAM, yet its
+aggregates must stay **byte-identical at every worker count** — the
+engine's core contract.  Plain float folds break that promise the
+moment rows are folded per worker and partials merged: ``(a+b)+(c+d)``
+rounds differently from ``((a+b)+c)+d``.  The accumulators here are
+therefore *exact*:
+
+* :class:`CountAcc` — integer tallies (trivially associative).
+* :class:`MeanAcc` — mean / min / max / sd over exact
+  :class:`~fractions.Fraction` sums.  Every float is a dyadic rational,
+  so the running sums are exact and merging partials in any grouping
+  yields the same value; floats only reappear at :meth:`~MeanAcc.summary`
+  time, via one deterministic conversion.
+* :class:`QuantileDigest` — a fixed-size histogram digest (integer bin
+  counts, exact min/max) whose percentile estimates depend only on the
+  folded multiset, never on fold order.
+
+:class:`RowReducer` bundles named accumulators with the per-row digest
+(:func:`row_digest`), so a worker can fold its chunk of results into a
+small partial and ship *that* back instead of the raw row list; the
+parent merges partials in chunk order and gets the same bytes a serial
+fold produces.  The digest itself is an order-independent sum of
+per-row SHA-256 hashes — each row's canonical encoding already embeds
+its task index, so content *and* position are pinned while partials
+stay mergeable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from fractions import Fraction
+from typing import Any, Mapping, Sequence
+
+from repro.engine.spec import RunResult
+from repro.engine.store import ResultStore, canonical_line
+
+#: digests are reduced into this modulus (63-bit, like derived seeds,
+#: so they survive any JSON round trip losslessly).
+DIGEST_MOD = 1 << 63
+
+
+def row_digest(row: Mapping[str, Any]) -> int:
+    """A 63-bit digest of one canonical result row."""
+    data = canonical_line(row).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(data).digest()[:8], "big") % DIGEST_MOD
+
+
+def merge_digests(a: int, b: int) -> int:
+    """Combine two digest sums (order-independent, associative)."""
+    return (a + b) % DIGEST_MOD
+
+
+class Accumulator:
+    """One streaming statistic: fold values, merge partials, summarize.
+
+    Implementations must be **exactly mergeable**: folding a value
+    sequence serially and folding it as partials merged in any grouping
+    must produce byte-identical summaries.  They must also pickle (a
+    fresh template travels to pool workers) and expose :meth:`fresh`
+    returning an empty clone with the same shape parameters.
+    """
+
+    kind = "?"
+
+    def add(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def merge(self, other: "Accumulator") -> None:
+        raise NotImplementedError
+
+    def summary(self) -> dict[str, Any]:
+        raise NotImplementedError
+
+    def fresh(self) -> "Accumulator":
+        raise NotImplementedError
+
+
+class CountAcc(Accumulator):
+    """Tally of distinct (hashable) values — commits, outcomes, flags."""
+
+    kind = "count"
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.counts: dict[Any, int] = {}
+
+    def add(self, value: Any) -> None:
+        self.n += 1
+        self.counts[value] = self.counts.get(value, 0) + 1
+
+    def merge(self, other: "CountAcc") -> None:
+        self.n += other.n
+        for value, count in other.counts.items():
+            self.counts[value] = self.counts.get(value, 0) + count
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "n": self.n,
+            "counts": {str(k): self.counts[k] for k in sorted(self.counts, key=str)},
+        }
+
+    def fresh(self) -> "CountAcc":
+        return CountAcc()
+
+
+class MeanAcc(Accumulator):
+    """Exact streaming mean / min / max / sd.
+
+    Sums are kept as :class:`~fractions.Fraction` (every float converts
+    exactly), so the merge of any partial grouping equals the serial
+    fold bit-for-bit; ``mean``/``sd`` are converted to float once, at
+    summary time.
+    """
+
+    kind = "mean"
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.total = Fraction(0)
+        self.total_sq = Fraction(0)
+        self.lo: float | None = None
+        self.hi: float | None = None
+
+    def add(self, value: Any) -> None:
+        exact = Fraction(value)
+        self.n += 1
+        self.total += exact
+        self.total_sq += exact * exact
+        value = float(value)
+        self.lo = value if self.lo is None else min(self.lo, value)
+        self.hi = value if self.hi is None else max(self.hi, value)
+
+    def merge(self, other: "MeanAcc") -> None:
+        self.n += other.n
+        self.total += other.total
+        self.total_sq += other.total_sq
+        if other.lo is not None:
+            self.lo = other.lo if self.lo is None else min(self.lo, other.lo)
+        if other.hi is not None:
+            self.hi = other.hi if self.hi is None else max(self.hi, other.hi)
+
+    def mean(self) -> float:
+        return float(self.total / self.n) if self.n else 0.0
+
+    def variance(self) -> float:
+        """Unbiased sample variance, computed exactly before conversion."""
+        if self.n < 2:
+            return 0.0
+        exact = (self.total_sq - self.total * self.total / self.n) / (self.n - 1)
+        return max(0.0, float(exact))
+
+    def sd(self) -> float:
+        return self.variance() ** 0.5
+
+    def ci(self, confidence: float = 0.95) -> tuple[float, float]:
+        """Two-sided t confidence interval (matches ``stats.mean_ci``).
+
+        Not part of :meth:`summary` — the t quantile comes from scipy,
+        whose last-ulp behaviour may drift across versions, and summary
+        output must stay byte-stable enough to commit as a baseline.
+        """
+        mean = self.mean()
+        sd = self.sd()
+        if self.n < 2 or sd == 0.0:
+            return mean, mean
+        from scipy import stats
+
+        sem = sd / self.n**0.5
+        low, high = stats.t.interval(confidence, df=self.n - 1, loc=mean, scale=sem)
+        return float(low), float(high)
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "n": self.n,
+            "mean": self.mean(),
+            "min": self.lo if self.lo is not None else 0.0,
+            "max": self.hi if self.hi is not None else 0.0,
+            "sd": self.sd(),
+        }
+
+    def fresh(self) -> "MeanAcc":
+        return MeanAcc()
+
+
+class QuantileDigest(Accumulator):
+    """Fixed-size percentile digest over a known value range.
+
+    ``bins`` integer counters over ``[lo, hi)`` (out-of-range values
+    clamp into the edge bins; exact min/max are tracked separately), so
+    memory is constant in row count and the percentile estimates are a
+    pure function of the folded multiset — merge order cannot change a
+    single bit.  Estimates interpolate linearly inside the target bin,
+    clamped to the observed range.
+    """
+
+    kind = "digest"
+
+    def __init__(self, lo: float, hi: float, bins: int = 64) -> None:
+        if not hi > lo:
+            raise ValueError(f"digest range must satisfy hi > lo, got [{lo}, {hi}]")
+        if bins < 1:
+            raise ValueError(f"digest needs >= 1 bin, got {bins}")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.bins = bins
+        self.counts = [0] * bins
+        self.n = 0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def add(self, value: Any) -> None:
+        value = float(value)
+        self.n += 1
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        index = int((value - self.lo) / (self.hi - self.lo) * self.bins)
+        self.counts[min(max(index, 0), self.bins - 1)] += 1
+
+    def merge(self, other: "QuantileDigest") -> None:
+        if (other.lo, other.hi, other.bins) != (self.lo, self.hi, self.bins):
+            raise ValueError("cannot merge digests with different bin layouts")
+        self.n += other.n
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max, other.max)
+
+    def quantile(self, q: float) -> float:
+        """The estimated ``q``-quantile (0 <= q <= 1); 0.0 when empty."""
+        if not self.n:
+            return 0.0
+        rank = max(1, -(-int(q * self.n * 1000000) // 1000000))  # ceil, float-safe
+        rank = min(rank, self.n)
+        cumulative = 0
+        width = (self.hi - self.lo) / self.bins
+        for index, count in enumerate(self.counts):
+            if cumulative + count >= rank:
+                inside = (rank - cumulative) / count
+                estimate = self.lo + width * (index + inside)
+                return min(max(estimate, self.min or estimate), self.max or estimate)
+            cumulative += count
+        return self.max if self.max is not None else 0.0
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "n": self.n,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+    def fresh(self) -> "QuantileDigest":
+        return QuantileDigest(self.lo, self.hi, self.bins)
+
+
+def resolve_path(value: Any, path: str) -> Any:
+    """Pull a metric out of a row value by dotted path.
+
+    An empty path is the value itself; each segment indexes a mapping,
+    indexes a sequence (numeric segments, e.g. ``"latencies.0"``), or
+    reads an attribute — so live dataclass results and rows loaded from
+    a JSON artifact resolve identically.
+    """
+    if not path:
+        return value
+    for part in path.split("."):
+        if isinstance(value, Mapping):
+            value = value[part]
+        elif isinstance(value, Sequence) and not isinstance(value, str):
+            value = value[int(part)]
+        else:
+            value = getattr(value, part)
+    return value
+
+
+class RowReducer:
+    """Named accumulators plus the row digest: a sweep's streaming fold.
+
+    ``metrics`` is a tuple of ``(name, path, accumulator_template)``
+    triples; folding a result resolves each path inside the row's
+    ``value`` and feeds the matching accumulator.  Reducers pickle into
+    pool workers (:meth:`fresh` gives each worker chunk a clean one),
+    partials merge exactly, and :meth:`summary` is byte-identical
+    between a serial fold and any chunked layout.
+    """
+
+    def __init__(self, metrics: tuple[tuple[str, str, Accumulator], ...] = ()) -> None:
+        names = [name for name, _path, _acc in metrics]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate reducer metric names in {names}")
+        self.metrics = tuple(metrics)
+        self.rows = 0
+        self.digest = 0
+
+    def fold(self, result: RunResult, row: Mapping[str, Any] | None = None) -> None:
+        """Fold one live result (``row``: its precomputed canonical form)."""
+        if row is None:
+            row = ResultStore.row_payload(result)
+        self._fold_common(row, result.value)
+
+    def fold_row(self, row: Mapping[str, Any]) -> None:
+        """Fold one row loaded back from an artifact (the eager side)."""
+        self._fold_common(row, row["value"])
+
+    def _fold_common(self, row: Mapping[str, Any], value: Any) -> None:
+        self.rows += 1
+        self.digest = merge_digests(self.digest, row_digest(row))
+        for _name, path, acc in self.metrics:
+            acc.add(resolve_path(value, path))
+
+    def merge(self, other: "RowReducer") -> None:
+        """Fold another partial in (chunk order = task order)."""
+        self.rows += other.rows
+        self.digest = merge_digests(self.digest, other.digest)
+        for (_n, _p, acc), (_on, _op, other_acc) in zip(self.metrics, other.metrics):
+            acc.merge(other_acc)
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-able aggregate: row count, digest, one entry per metric."""
+        return {
+            "rows": self.rows,
+            "digest": self.digest,
+            "metrics": {name: acc.summary() for name, _path, acc in self.metrics},
+        }
+
+    def fresh(self) -> "RowReducer":
+        """An empty reducer with the same metric layout."""
+        return RowReducer(
+            tuple((name, path, acc.fresh()) for name, path, acc in self.metrics)
+        )

@@ -31,6 +31,8 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable
 from repro.engine.spec import RunResult, RunTask, SweepSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.aggregate import RowReducer
+    from repro.engine.sink import ResultSink
     from repro.engine.store import ResultStore
 
 
@@ -60,6 +62,13 @@ def default_chunksize(n_tasks: int, workers: int) -> int:
 #: per-worker memo for deterministic shared artifacts (see worker_cache).
 _WORKER_CACHE: dict[Any, Any] = {}
 
+#: cap on distinct worker_cache entries per process.  A long-lived warm
+#: pool sees every sweep of a campaign; without a bound, each new
+#: (catalog, topology, trace) key pins its artifact forever.  FIFO like
+#: ``CATALOG_MEMO_LIMIT``: entries are pure functions of their keys, so
+#: eviction only ever costs a rebuild, never correctness.
+WORKER_CACHE_LIMIT = 128
+
 
 def worker_cache(key: Any, build: Callable[[], Any]) -> Any:
     """Per-process memo for artifacts that are pure functions of ``key``.
@@ -73,11 +82,18 @@ def worker_cache(key: Any, build: Callable[[], Any]) -> Any:
     *consumes a shared RNG stream*, because skipping those draws on a
     warm worker would change every draw that follows and break the
     byte-identical-trajectories guarantee.
+
+    Bounded at :data:`WORKER_CACHE_LIMIT` entries with FIFO eviction,
+    so a pool reused across many sweeps cannot grow its memo without
+    bound.
     """
     try:
         return _WORKER_CACHE[key]
     except KeyError:
-        value = _WORKER_CACHE[key] = build()
+        value = build()
+        while len(_WORKER_CACHE) >= WORKER_CACHE_LIMIT:
+            _WORKER_CACHE.pop(next(iter(_WORKER_CACHE)))
+        _WORKER_CACHE[key] = value
         return value
 
 
@@ -109,10 +125,17 @@ _POOL_UNAVAILABLE = (ImportError, OSError, PermissionError, AssertionError)
 
 @dataclass
 class SweepOutcome:
-    """An executed sweep: the spec summary plus ordered results."""
+    """An executed sweep: the spec summary plus ordered results.
+
+    ``aggregate`` is populated by the streaming paths (``sink=`` /
+    ``reduce=``): the sink or reducer summary — row count, the
+    order-independent row digest, and any reducer metrics.  On the
+    default (row-keeping) path it stays ``None``.
+    """
 
     spec: dict[str, Any]
     results: list[RunResult] = field(default_factory=list)
+    aggregate: dict[str, Any] | None = None
 
     @property
     def name(self) -> str:
@@ -198,8 +221,23 @@ class SweepRunner:
         spec: SweepSpec,
         chunksize: int | None = None,
         store: "ResultStore | None" = None,
+        sink: "ResultSink | None" = None,
+        reduce: "RowReducer | None" = None,
     ) -> SweepOutcome:
         """Execute one sweep on the warm pool (API mirrors :func:`run_sweep`)."""
+        if sink is not None and reduce is not None:
+            raise ValueError("pass sink= or reduce=, not both")
+        if sink is not None or reduce is not None:
+            pool = self._ensure_pool() if self.workers > 1 and spec.n_tasks > 1 else None
+            workers = self.workers if pool is not None else 1
+            if reduce is not None:
+                outcome = _run_reduced(spec, workers, chunksize, reduce, pool=pool)
+            else:
+                outcome = _run_sink(spec, workers, chunksize, sink, pool=pool)
+            self.sweeps_run += 1
+            if store is not None:
+                store.save(outcome)
+            return outcome
         tasks = spec.tasks()
         pool = self._ensure_pool() if self.workers > 1 and len(tasks) > 1 else None
         if pool is not None:
@@ -236,6 +274,8 @@ def run_sweep(
     chunksize: int | None = None,
     store: "ResultStore | None" = None,
     persistent_pool: bool = False,
+    sink: "ResultSink | None" = None,
+    reduce: "RowReducer | None" = None,
 ) -> SweepOutcome:
     """Execute a sweep and (optionally) persist its artifact.
 
@@ -248,24 +288,49 @@ def run_sweep(
         chunksize: tasks per worker batch; default
             :func:`default_chunksize`.
         store: when given, the outcome is saved under ``spec.name``
-            before returning.
+            before returning.  (With a non-row-keeping ``sink`` the
+            saved artifact has an empty ``results`` body — stream the
+            rows through a :class:`~repro.engine.sink.JsonlSink`
+            instead when they must be persisted.)
         persistent_pool: run on the process-wide shared
             :class:`SweepRunner` for this worker count, keeping the
             pool warm for later ``run_sweep`` calls, instead of
             creating (and tearing down) a pool just for this sweep.
+        sink: streaming backend — every result is pushed into the sink
+            in task-index order as it completes, tasks are generated
+            lazily, and only row-keeping sinks (``MemorySink``) retain
+            rows in the outcome.  The default (``None``) is the classic
+            keep-everything path, byte-identical to prior releases.
+        reduce: a :class:`~repro.engine.aggregate.RowReducer`
+            *template*: each worker chunk folds its rows into a fresh
+            partial and ships the partial back instead of the row list;
+            partials merge in chunk order and the outcome carries only
+            ``aggregate``.  Mutually exclusive with ``sink``.
 
     Returns:
         A :class:`SweepOutcome` whose ``results`` are in task order —
-        identical content for every ``workers`` value.
+        identical content for every ``workers`` value.  Streaming paths
+        additionally seat the sink/reducer summary in ``aggregate``;
+        its row digest is byte-identical across all backends and worker
+        counts.
     """
+    if sink is not None and reduce is not None:
+        raise ValueError("pass sink= or reduce=, not both")
     if persistent_pool and workers > 1:
-        return shared_runner(workers).run_sweep(spec, chunksize=chunksize, store=store)
-    tasks = spec.tasks()
-    if workers > 1 and len(tasks) > 1:
-        results = _run_pool(tasks, workers, chunksize)
+        return shared_runner(workers).run_sweep(
+            spec, chunksize=chunksize, store=store, sink=sink, reduce=reduce
+        )
+    if reduce is not None:
+        outcome = _run_reduced(spec, workers, chunksize, reduce, pool=None)
+    elif sink is not None:
+        outcome = _run_sink(spec, workers, chunksize, sink, pool=None)
     else:
-        results = [task.execute() for task in tasks]
-    outcome = SweepOutcome(spec=spec.summary(), results=results)
+        tasks = spec.tasks()
+        if workers > 1 and len(tasks) > 1:
+            results = _run_pool(tasks, workers, chunksize)
+        else:
+            results = [task.execute() for task in tasks]
+        outcome = SweepOutcome(spec=spec.summary(), results=results)
     if store is not None:
         store.save(outcome)
     return outcome
@@ -325,6 +390,147 @@ def _run_pool(
             tasks,
             chunksize or default_chunksize(len(tasks), workers),
         )
+
+
+# ----------------------------------------------------------------------
+# streaming backends (sink= / reduce=)
+# ----------------------------------------------------------------------
+
+def _stream_results(
+    spec: SweepSpec,
+    workers: int,
+    chunksize: int | None,
+    pool: Any,
+) -> Iterable[RunResult]:
+    """Results in task-index order, produced incrementally.
+
+    Tasks come from ``spec.iter_tasks()`` (never materialized as a
+    list) and ``Pool.imap`` preserves input order while yielding as
+    chunks complete, so the consumer sees a bounded window of rows no
+    matter how large the sweep is.
+    """
+    n = spec.n_tasks
+    if workers > 1 and n > 1:
+        if pool is not None:
+            return pool.imap(
+                _execute_task,
+                spec.iter_tasks(),
+                chunksize or default_chunksize(n, workers),
+            )
+        return _stream_fresh_pool(spec, workers, chunksize)
+    return (task.execute() for task in spec.iter_tasks())
+
+
+def _stream_fresh_pool(
+    spec: SweepSpec, workers: int, chunksize: int | None
+) -> Iterable[RunResult]:
+    """One-shot-pool flavour of :func:`_stream_results` (same fallback
+    rule as :func:`_run_pool`: only pool *creation* degrades to serial)."""
+    try:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context()
+        pool = ctx.Pool(processes=workers)
+    except _POOL_UNAVAILABLE:
+        yield from (task.execute() for task in spec.iter_tasks())
+        return
+    with pool:
+        yield from pool.imap(
+            _execute_task,
+            spec.iter_tasks(),
+            chunksize or default_chunksize(spec.n_tasks, workers),
+        )
+
+
+def _run_sink(
+    spec: SweepSpec,
+    workers: int,
+    chunksize: int | None,
+    sink: "ResultSink",
+    pool: Any,
+) -> SweepOutcome:
+    """Drive one sweep through a sink (the ``sink=`` backend).
+
+    On any failure the sink is aborted, not closed — a streaming file
+    sink then leaves a detectably-truncated artifact behind instead of
+    a well-formed file holding half a sweep.
+    """
+    summary = spec.summary()
+    sink.open(summary)
+    try:
+        for result in _stream_results(spec, workers, chunksize, pool):
+            sink.emit(result)
+    except BaseException:
+        sink.abort()
+        raise
+    sink.close()
+    results = list(sink.results) if sink.keeps_rows else []
+    return SweepOutcome(spec=summary, results=results, aggregate=sink.summary())
+
+
+def _chunked(items: Iterable[Any], size: int) -> Iterable[list[Any]]:
+    """Split an iterable into lists of at most ``size`` items."""
+    chunk: list[Any] = []
+    for item in items:
+        chunk.append(item)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
+
+def _execute_reduced_chunk(payload: tuple[list[RunTask], "RowReducer"]) -> "RowReducer":
+    """Worker side of ``reduce=``: fold one task chunk into a fresh
+    partial and ship the partial back (top-level so it pickles)."""
+    tasks, template = payload
+    partial = template.fresh()
+    for task in tasks:
+        partial.fold(task.execute())
+    return partial
+
+
+def _run_reduced(
+    spec: SweepSpec,
+    workers: int,
+    chunksize: int | None,
+    reduce: "RowReducer",
+    pool: Any,
+) -> SweepOutcome:
+    """Drive one sweep through per-chunk partial reducers (``reduce=``).
+
+    ``reduce`` is a template and is never mutated: every chunk folds
+    into its own fresh partial, and partials merge in chunk (= task)
+    order.  Accumulators are exactly mergeable, so the summary is
+    byte-identical to a serial fold at every worker count.
+    """
+    n = spec.n_tasks
+    total = reduce.fresh()
+    if workers > 1 and n > 1:
+        owned = None
+        if pool is None:
+            try:
+                import multiprocessing
+
+                pool = owned = multiprocessing.get_context().Pool(processes=workers)
+            except _POOL_UNAVAILABLE:
+                pool = None
+        if pool is not None:
+            size = chunksize or default_chunksize(n, workers)
+            chunks = ((chunk, reduce) for chunk in _chunked(spec.iter_tasks(), size))
+            try:
+                for partial in pool.imap(_execute_reduced_chunk, chunks):
+                    total.merge(partial)
+            finally:
+                if owned is not None:
+                    owned.terminate()
+                    owned.join()
+            return SweepOutcome(
+                spec=spec.summary(), results=[], aggregate=total.summary()
+            )
+    for task in spec.iter_tasks():
+        total.fold(task.execute())
+    return SweepOutcome(spec=spec.summary(), results=[], aggregate=total.summary())
 
 
 def map_runs(

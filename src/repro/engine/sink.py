@@ -1,0 +1,391 @@
+"""Pluggable result sinks: where a sweep's rows go as they complete.
+
+The default sweep path accumulates every :class:`~repro.engine.spec.RunResult`
+in RAM and hands them back inside the outcome — fine at 10^3 cells,
+fatal at 10^6.  A :class:`ResultSink` decouples *producing* rows from
+*keeping* them: the executor pushes each result into the sink the
+moment it arrives (always in task-index order), and the sink decides
+whether to keep it (:class:`MemorySink`), stream it to disk
+(:class:`JsonlSink`), fold it into aggregates (:class:`ReducerSink`,
+:class:`CellFoldSink`), print it (:class:`PrintingSink`), fan it out
+(:class:`TeeSink`) or drop it (:class:`NoopSink`).
+
+Every sink tracks two backend-independent invariants as it goes:
+``rows_emitted`` and an order-independent row ``digest`` (see
+:mod:`repro.engine.aggregate`).  Because both the eager path and every
+sink encode rows through :meth:`ResultStore.row_payload`, the digest of
+a sweep is byte-identical across `MemorySink`/`JsonlSink`/reducers and
+across every worker count — the property the streaming bench case and
+the engine property tests pin.
+
+Lifecycle: ``open(spec_summary)`` → ``emit(result)`` per row →
+``close()``; the executor calls ``abort()`` instead of ``close()`` when
+a task raises, so a partially-written :class:`JsonlSink` file has no
+``end`` record and its truncation tripwire fires on load.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import json
+from pathlib import Path
+from typing import Any, Callable, Iterator, Mapping, TextIO
+
+from repro.common.errors import StoreError
+from repro.engine.aggregate import RowReducer, merge_digests, row_digest
+from repro.engine.spec import RunResult
+from repro.engine.store import ResultStore, canonical_line, jsonable
+
+#: streamed-artifact schema version; bump on any layout change.
+STREAM_SCHEMA = 1
+
+#: the header ``kind`` tag distinguishing row streams from traces.
+STREAM_KIND = "repro-sweep-rows"
+
+
+class ResultSink:
+    """Base sink: bookkeeping only (row count + order-independent digest).
+
+    Subclasses extend :meth:`emit` (always calling ``super().emit`` or
+    maintaining the counters themselves) and may override the lifecycle
+    hooks, which default to no-ops.  ``emit`` receives the live result
+    plus, optionally, its precomputed canonical row — a
+    :class:`TeeSink` encodes each row once and shares it with every
+    branch instead of re-encoding per child.
+    """
+
+    #: does this sink retain full rows for the outcome's ``results``?
+    keeps_rows = False
+
+    def __init__(self) -> None:
+        self.rows_emitted = 0
+        self.digest = 0
+        self.spec: dict[str, Any] | None = None
+
+    def open(self, spec_summary: dict[str, Any]) -> None:
+        """Called once before the first row."""
+        self.spec = spec_summary
+
+    def emit(self, result: RunResult, row: Mapping[str, Any] | None = None) -> None:
+        """Receive one result, in task-index order."""
+        if row is None:
+            row = ResultStore.row_payload(result)
+        self.rows_emitted += 1
+        self.digest = merge_digests(self.digest, row_digest(row))
+
+    def close(self) -> None:
+        """Called once after the last row (success path only)."""
+
+    def abort(self) -> None:
+        """Called instead of :meth:`close` when the sweep fails."""
+
+    def summary(self) -> dict[str, Any]:
+        """The sink's JSON-able aggregate, seated in the outcome."""
+        return {"rows": self.rows_emitted, "digest": self.digest}
+
+
+class NoopSink(ResultSink):
+    """Count and digest rows, keep nothing — the pure-throughput sink."""
+
+
+class MemorySink(ResultSink):
+    """Keep every row in RAM — the classic (and default) behaviour."""
+
+    keeps_rows = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.results: list[RunResult] = []
+
+    def emit(self, result: RunResult, row: Mapping[str, Any] | None = None) -> None:
+        super().emit(result, row)
+        self.results.append(result)
+
+
+class PrintingSink(ResultSink):
+    """Write one canonical JSON line per row to a text stream.
+
+    Progress/debug sink for long sweeps — pipe it to a pager or a log
+    file.  Lines are the same canonical row encoding every other
+    backend digests, so ad-hoc downstream tooling sees stable bytes.
+    """
+
+    def __init__(self, stream: TextIO | None = None) -> None:
+        super().__init__()
+        import sys
+
+        self.stream = stream if stream is not None else sys.stdout
+
+    def emit(self, result: RunResult, row: Mapping[str, Any] | None = None) -> None:
+        if row is None:
+            row = ResultStore.row_payload(result)
+        super().emit(result, row)
+        self.stream.write(canonical_line(row) + "\n")
+
+
+class JsonlSink(ResultSink):
+    """Stream rows into a schema-versioned gzip'd JSONL artifact.
+
+    The on-disk dialect mirrors ``replay/artifact.py``: one canonical
+    JSON object per line (``sort_keys`` + compact separators), a typed
+    ``header`` first line carrying schema/kind/sweep/spec, one ``row``
+    line per result, and a final ``end`` record with the line count as
+    a truncation tripwire.  Compression pins ``mtime=0`` and an empty
+    embedded filename, so two runs of the same sweep produce identical
+    *bytes* regardless of worker count, wall clock, or output path
+    — incremental writes and a single batch write are byte-identical
+    too, because zlib's output is a pure function of the byte stream
+    when nothing flushes mid-stream.
+
+    ``compresslevel`` defaults to 6 (zlib default): at 10^5+ rows/sec
+    the level-9 sliver of extra compression costs more wall time than
+    the rows themselves.
+    """
+
+    def __init__(self, path: str | Path, compresslevel: int = 6) -> None:
+        super().__init__()
+        self.path = Path(path)
+        self.compresslevel = compresslevel
+        self._file: Any = None
+        self._gz: Any = None
+        self._lines = 0
+
+    def open(self, spec_summary: dict[str, Any]) -> None:
+        super().open(spec_summary)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._file = open(self.path, "wb")
+        # filename="" suppresses the FNAME header (GzipFile would lift
+        # the path off the fileobj); mtime=0 pins the timestamp — the
+        # artifact's bytes then depend only on its logical content.
+        self._gz = gzip.GzipFile(
+            fileobj=self._file,
+            mode="wb",
+            compresslevel=self.compresslevel,
+            mtime=0,
+            filename="",
+        )
+        self._write_line(
+            {
+                "type": "header",
+                "schema": STREAM_SCHEMA,
+                "kind": STREAM_KIND,
+                "sweep": spec_summary.get("name"),
+                "spec": jsonable(spec_summary),
+            }
+        )
+
+    def _write_line(self, record: dict[str, Any]) -> None:
+        self._gz.write((canonical_line(record) + "\n").encode("utf-8"))
+        self._lines += 1
+
+    def emit(self, result: RunResult, row: Mapping[str, Any] | None = None) -> None:
+        if row is None:
+            row = ResultStore.row_payload(result)
+        super().emit(result, row)
+        self._write_line({"type": "row", **row})
+
+    def close(self) -> None:
+        if self._gz is None:
+            return
+        self._write_line({"type": "end", "records": self._lines})
+        self._gz.close()
+        self._file.close()
+        self._gz = self._file = None
+
+    def abort(self) -> None:
+        """Tear down WITHOUT the end record: the file stays detectably
+        truncated, so a later load fails loudly instead of analysing a
+        partial sweep."""
+        if self._gz is None:
+            return
+        self._gz.close()
+        self._file.close()
+        self._gz = self._file = None
+
+
+def iter_stream_rows(path: str | Path) -> Iterator[dict[str, Any]]:
+    """Stream the row records of a :class:`JsonlSink` artifact.
+
+    Validates the header before the first yield and the ``end`` record
+    after the last, holding only one line in memory at a time.
+
+    Raises:
+        StoreError: unreadable/corrupt file, foreign or
+            schema-mismatched header, or truncation (missing/short
+            ``end`` record).
+    """
+    try:
+        with gzip.open(path, "rt", encoding="utf-8") as f:
+            lines = (line for line in f if line.strip())
+            try:
+                header = json.loads(next(lines))
+            except StopIteration:
+                raise StoreError(f"empty row-stream artifact {path}") from None
+            if header.get("type") != "header" or header.get("kind") != STREAM_KIND:
+                raise StoreError(f"{path} is not a sweep row stream (bad header)")
+            if header.get("schema") != STREAM_SCHEMA:
+                raise StoreError(
+                    f"row stream {path} has schema {header.get('schema')!r}, "
+                    f"this library reads schema {STREAM_SCHEMA}; regenerate it"
+                )
+            count = 1
+            for line in lines:
+                record = json.loads(line)
+                count += 1
+                if record.get("type") == "end":
+                    if record.get("records") != count - 1:
+                        raise StoreError(
+                            f"row stream {path} is inconsistent: end record "
+                            f"claims {record.get('records')} lines, found {count - 1}"
+                        )
+                    return
+                if record.get("type") != "row":
+                    raise StoreError(
+                        f"row stream {path} has unknown record type "
+                        f"{record.get('type')!r}"
+                    )
+                yield {k: v for k, v in record.items() if k != "type"}
+    except (OSError, EOFError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StoreError(f"cannot read row-stream artifact {path}: {exc}") from None
+    raise StoreError(f"row stream {path} is truncated (no end record)")
+
+
+def load_stream(path: str | Path) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """A whole streamed artifact: ``(spec_summary, rows)``.
+
+    Convenience for small streams and tests; big streams should use
+    :func:`iter_stream_rows` and never materialize the list.
+    """
+    with gzip.open(path, "rt", encoding="utf-8") as f:
+        first = json.loads(next(line for line in f if line.strip()))
+    spec = first.get("spec") if isinstance(first, dict) else None
+    rows = list(iter_stream_rows(path))
+    return spec or {}, rows
+
+
+class FoldSink(ResultSink):
+    """Apply one callable per row — the quick-lambda sink.
+
+    The callable runs in the parent process, so closures are fine (it
+    never pickles); digests/row counts track alongside.
+    """
+
+    def __init__(self, fold: Callable[[RunResult], None]) -> None:
+        super().__init__()
+        self._fold = fold
+
+    def emit(self, result: RunResult, row: Mapping[str, Any] | None = None) -> None:
+        super().emit(result, row)
+        self._fold(result)
+
+
+class ReducerSink(ResultSink):
+    """Fold rows into a :class:`~repro.engine.aggregate.RowReducer`.
+
+    The streaming twin of "run the sweep, then aggregate the rows": the
+    outcome's ``aggregate`` carries the reducer summary and the raw
+    rows are never retained.
+    """
+
+    def __init__(self, reducer: RowReducer) -> None:
+        super().__init__()
+        self.reducer = reducer
+
+    def emit(self, result: RunResult, row: Mapping[str, Any] | None = None) -> None:
+        self.reducer.fold(result, row=row)
+        self.rows_emitted = self.reducer.rows
+        self.digest = self.reducer.digest
+
+    def summary(self) -> dict[str, Any]:
+        return self.reducer.summary()
+
+
+class CellFoldSink(ResultSink):
+    """Streaming per-cell fold — ``by_cell()`` without holding rows.
+
+    ``fold(state, result) -> state`` runs once per row against its
+    cell's accumulated state (``None`` on the cell's first row); cells
+    appear in first-emission order, which for an in-order executor is
+    exactly the spec's expansion order — the same order ``by_cell()``
+    yields.  Row digests are skipped: driver folds run on the hot
+    default path too, where paying a canonical-JSON encode per row just
+    for bookkeeping would tax every study.
+    """
+
+    def __init__(self, fold: Callable[[Any, RunResult], Any]) -> None:
+        super().__init__()
+        self._fold = fold
+        self._groups: dict[tuple, tuple[dict[str, Any], Any]] = {}
+        self._names: tuple[str, ...] | None = None
+
+    def emit(self, result: RunResult, row: Mapping[str, Any] | None = None) -> None:
+        self.rows_emitted += 1
+        params = result.params
+        if self._names is None or len(params) != len(self._names):
+            self._names = tuple(sorted(params))
+        try:
+            key = tuple(params[name] for name in self._names)
+        except (KeyError, TypeError):  # divergent name set / unhashable value
+            key = tuple(sorted((k, repr(v)) for k, v in params.items()))
+        seat = self._groups.get(key)
+        if seat is None:
+            self._groups[key] = (params, self._fold(None, result))
+        else:
+            self._groups[key] = (seat[0], self._fold(seat[1], result))
+
+    def cells(self) -> list[tuple[dict[str, Any], Any]]:
+        """``(cell_params, folded_state)`` pairs in first-seen order."""
+        return list(self._groups.values())
+
+
+class TeeSink(ResultSink):
+    """Fan each row out to several child sinks.
+
+    The canonical row is encoded once here and shared with every child,
+    so ``TeeSink(JsonlSink(...), ReducerSink(...))`` pays one encode
+    per row, not one per branch.  The tee's own digest mirrors the
+    first child's (all children agree by construction).
+    """
+
+    def __init__(self, *sinks: ResultSink) -> None:
+        super().__init__()
+        if not sinks:
+            raise ValueError("TeeSink needs at least one child sink")
+        self.sinks = tuple(sinks)
+
+    @property
+    def keeps_rows(self) -> bool:  # type: ignore[override]
+        return any(sink.keeps_rows for sink in self.sinks)
+
+    @property
+    def results(self) -> list[RunResult]:
+        """The rows of the first row-keeping child."""
+        for sink in self.sinks:
+            if sink.keeps_rows:
+                return sink.results
+        return []
+
+    def open(self, spec_summary: dict[str, Any]) -> None:
+        super().open(spec_summary)
+        for sink in self.sinks:
+            sink.open(spec_summary)
+
+    def emit(self, result: RunResult, row: Mapping[str, Any] | None = None) -> None:
+        if row is None:
+            row = ResultStore.row_payload(result)
+        self.rows_emitted += 1
+        for sink in self.sinks:
+            sink.emit(result, row)
+        self.digest = self.sinks[0].digest
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+    def abort(self) -> None:
+        for sink in self.sinks:
+            sink.abort()
+
+    def summary(self) -> dict[str, Any]:
+        return self.sinks[0].summary()

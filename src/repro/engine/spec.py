@@ -22,7 +22,9 @@ import hashlib
 import itertools
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+from repro.engine.shared import SharedPayload
 
 #: seed strategies a spec may choose from.
 SEED_MODES = ("derived", "offset")
@@ -62,8 +64,22 @@ class RunTask:
     seed: int
 
     def execute(self) -> "RunResult":
-        """Run the task function; bind the seed and cell by keyword."""
-        value = self.task(seed=self.seed, **self.params)
+        """Run the task function; bind the seed and cell by keyword.
+
+        :class:`~repro.engine.shared.SharedPayload` parameters are
+        resolved into the *call* only — the result keeps the handle, so
+        a pool worker ships the cheap handle back instead of re-pickling
+        the payload into every row.
+        """
+        params = self.params
+        if any(isinstance(v, SharedPayload) for v in params.values()):
+            call_params = {
+                k: (v.get() if isinstance(v, SharedPayload) else v)
+                for k, v in params.items()
+            }
+        else:
+            call_params = params
+        value = self.task(seed=self.seed, **call_params)
         return RunResult(
             index=self.index,
             params=self.params,
@@ -123,15 +139,22 @@ class SweepSpec:
         if overlap:
             raise ValueError(f"parameters both in grid and fixed: {sorted(overlap)}")
 
-    def cells(self) -> list[dict[str, Any]]:
-        """All grid cells, in deterministic expansion order."""
+    def iter_cells(self) -> Iterator[dict[str, Any]]:
+        """Grid cells in deterministic expansion order, generated lazily.
+
+        The streaming executor paths walk this so a 10^6-cell grid
+        never materializes as a list; :meth:`cells` is the eager form.
+        """
         keys = list(self.grid)
         if not keys:
-            return [{}]
-        return [
-            dict(zip(keys, combo))
-            for combo in itertools.product(*(self.grid[k] for k in keys))
-        ]
+            yield {}
+            return
+        for combo in itertools.product(*(self.grid[k] for k in keys)):
+            yield dict(zip(keys, combo))
+
+    def cells(self) -> list[dict[str, Any]]:
+        """All grid cells, in deterministic expansion order."""
+        return list(self.iter_cells())
 
     def seed_for(self, params: Mapping[str, Any], run: int) -> int:
         """The seed of run ``run`` in cell ``params``."""
@@ -139,22 +162,29 @@ class SweepSpec:
             return self.base_seed + run
         return derive_seed(self.base_seed, self.name, params, run)
 
+    def iter_tasks(self) -> Iterator[RunTask]:
+        """Expand lazily into tasks (cells × runs), in index order.
+
+        Identical content to :meth:`tasks` — the streaming executor
+        paths consume this one task at a time so sweep memory stays
+        flat in cell count.
+        """
+        index = 0
+        for cell in self.iter_cells():
+            for run in range(self.runs):
+                yield RunTask(
+                    index=index,
+                    sweep=self.name,
+                    task=self.task,
+                    params={**cell, **self.fixed},
+                    run=run,
+                    seed=self.seed_for(cell, run),
+                )
+                index += 1
+
     def tasks(self) -> list[RunTask]:
         """Expand into the full task list (cells × runs)."""
-        out: list[RunTask] = []
-        for cell in self.cells():
-            for run in range(self.runs):
-                out.append(
-                    RunTask(
-                        index=len(out),
-                        sweep=self.name,
-                        task=self.task,
-                        params={**cell, **self.fixed},
-                        run=run,
-                        seed=self.seed_for(cell, run),
-                    )
-                )
-        return out
+        return list(self.iter_tasks())
 
     @property
     def n_tasks(self) -> int:
@@ -170,7 +200,10 @@ class SweepSpec:
             "name": self.name,
             "task": f"{self.task.__module__}.{self.task.__qualname__}",
             "grid": {k: list(v) for k, v in self.grid.items()},
-            "fixed": dict(self.fixed),
+            "fixed": {
+                k: (v.describe() if isinstance(v, SharedPayload) else v)
+                for k, v in self.fixed.items()
+            },
             "runs": self.runs,
             "base_seed": self.base_seed,
             "seeding": self.seeding,

@@ -23,17 +23,32 @@ from typing import Any, Callable, Iterable, Mapping
 
 from repro.common.errors import StoreError
 from repro.engine.executor import SweepOutcome
+from repro.engine.shared import SharedPayload
 
 #: bump when the artifact layout changes shape.
 SCHEMA_VERSION = 1
+
+
+def canonical_line(value: Any) -> str:
+    """One-line canonical JSON (sorted keys, no whitespace).
+
+    The byte-stable compact form shared by streamed JSONL rows, row
+    digests and the replay artifacts — same dialect as
+    ``replay/artifact.py``.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
 
 
 def jsonable(value: Any) -> Any:
     """Recursively convert a task's return value to JSON-safe data.
 
     Dataclasses flatten to dicts, tuples/sets to lists (sets sorted for
-    determinism); everything else must already be JSON-encodable.
+    determinism), shared-payload handles to their content-free
+    ``describe()`` form; everything else must already be
+    JSON-encodable.
     """
+    if isinstance(value, SharedPayload):
+        return value.describe()
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {f.name: jsonable(getattr(value, f.name)) for f in dataclasses.fields(value)}
     if isinstance(value, Mapping):
@@ -90,22 +105,30 @@ class ResultStore:
         return self.load(sweep_name)["results"]
 
     @staticmethod
+    def row_payload(result: Any) -> dict[str, Any]:
+        """One result's canonical artifact row.
+
+        The single definition of a row's JSON shape — the eager
+        artifact body, the streamed JSONL rows and the row digests all
+        encode through here, which is what makes their checksums
+        comparable across backends.
+        """
+        return {
+            "index": result.index,
+            "params": jsonable(result.params),
+            "run": result.run,
+            "seed": result.seed,
+            "value": jsonable(result.value),
+        }
+
+    @staticmethod
     def payload(outcome: SweepOutcome) -> dict[str, Any]:
         """The artifact dict for an executed sweep."""
         return {
             "schema": SCHEMA_VERSION,
             "sweep": outcome.name,
             "spec": outcome.spec,
-            "results": [
-                {
-                    "index": r.index,
-                    "params": jsonable(r.params),
-                    "run": r.run,
-                    "seed": r.seed,
-                    "value": jsonable(r.value),
-                }
-                for r in outcome.results
-            ],
+            "results": [ResultStore.row_payload(r) for r in outcome.results],
         }
 
     @staticmethod

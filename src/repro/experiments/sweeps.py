@@ -26,6 +26,14 @@ worker count.  The ``seeding="offset"`` mode (seed = base_seed + run)
 keeps the historical trajectories: every protocol sees the *same*
 scenario sequence, and results match the pre-engine serial loops
 exactly.
+
+Each driver also accepts a ``sink=`` argument (a
+:class:`repro.engine.ResultSink`): when given, the sweep runs on the
+streaming backend — rows flow through the caller's sink (e.g. a
+``JsonlSink`` persisting 10^5 rows incrementally) *and* through the
+driver's own per-cell fold, and the returned aggregates are identical
+to the default path because the folds do the same arithmetic in the
+same order.
 """
 
 from __future__ import annotations
@@ -33,7 +41,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.db.cluster import Cluster
-from repro.engine import ResultStore, SweepSpec, run_sweep
+from repro.engine import CellFoldSink, ResultSink, ResultStore, SweepSpec, TeeSink, run_sweep
 from repro.sim.failures import FailurePlan
 from repro.sim.rng import RngRegistry
 from repro.workload.generators import (
@@ -125,24 +133,59 @@ def _one_availability_run(protocol: str, seed: int) -> tuple[float, float, bool,
     return availability_run(seed=seed, protocol=protocol)
 
 
+def _fold_availability(state, result):
+    """Per-cell streaming fold over (readable, writable, blocked,
+    violated, decided) samples — same additions, in the same order, as
+    the historical ``sum()``-over-collected-samples aggregation."""
+    if state is None:
+        state = [0, 0, 0, 0, 0, 0]  # n, readable, writable, blocked, violated, decided
+    readable, writable, blocked, violated, decided = result.value
+    state[0] += 1
+    state[1] += readable
+    state[2] += writable
+    state[3] += blocked
+    state[4] += violated
+    state[5] += decided
+    return state
+
+
+def _availability_fold_rows(folder: CellFoldSink) -> list[SweepRow]:
+    """One :class:`SweepRow` per folded cell, in expansion order."""
+    return [
+        SweepRow(
+            protocol=params["protocol"],
+            runs=state[0],
+            readable_fraction=state[1] / state[0],
+            writable_fraction=state[2] / state[0],
+            blocked_runs=state[3],
+            violation_runs=state[4],
+            decided_runs=state[5],
+        )
+        for params, state in folder.cells()
+    ]
+
+
 def _availability_rows(outcome) -> list[SweepRow]:
     """Fold raw (readable, writable, blocked, violated, decided) samples
     into one :class:`SweepRow` per protocol cell."""
-    rows = []
-    for params, cell in outcome.by_cell():
-        samples = [r.value for r in cell]
-        rows.append(
-            SweepRow(
-                protocol=params["protocol"],
-                runs=len(samples),
-                readable_fraction=sum(s[0] for s in samples) / len(samples),
-                writable_fraction=sum(s[1] for s in samples) / len(samples),
-                blocked_runs=sum(s[2] for s in samples),
-                violation_runs=sum(s[3] for s in samples),
-                decided_runs=sum(s[4] for s in samples),
-            )
-        )
-    return rows
+    folder = CellFoldSink(_fold_availability)
+    for result in outcome.results:
+        folder.emit(result)
+    return _availability_fold_rows(folder)
+
+
+def _run_availability_spec(
+    spec: SweepSpec,
+    workers: int,
+    store: ResultStore | None,
+    sink: ResultSink | None,
+) -> list[SweepRow]:
+    """Run an availability-shaped sweep, streaming when a sink is given."""
+    if sink is None:
+        return _availability_rows(run_sweep(spec, workers=workers, store=store))
+    folder = CellFoldSink(_fold_availability)
+    run_sweep(spec, workers=workers, store=store, sink=TeeSink(sink, folder))
+    return _availability_fold_rows(folder)
 
 
 def availability_sweep(
@@ -151,6 +194,7 @@ def availability_sweep(
     base_seed: int = 0,
     workers: int = 1,
     store: ResultStore | None = None,
+    sink: ResultSink | None = None,
 ) -> list[SweepRow]:
     """E11: mean post-failure availability per protocol.
 
@@ -169,7 +213,7 @@ def availability_sweep(
         base_seed=base_seed,
         seeding="offset",
     )
-    return _availability_rows(run_sweep(spec, workers=workers, store=store))
+    return _run_availability_spec(spec, workers, store, sink)
 
 
 @dataclass
@@ -194,6 +238,18 @@ class StormResult:
             f"consistent={self.consistent_runs:<4} terminated={self.terminated_runs:<4} "
             f"termination-attempts={self.total_term_attempts}"
         )
+
+
+def _fold_storm(state, result):
+    """Single-cell streaming fold over (consistent, terminated, attempts)."""
+    if state is None:
+        state = [0, 0, 0, 0]  # n, consistent, terminated, term attempts
+    consistent, terminated, attempts = result.value
+    state[0] += 1
+    state[1] += consistent
+    state[2] += terminated
+    state[3] += attempts
+    return state
 
 
 def storm_run(seed: int, protocol: str, waves: int = 3) -> tuple[bool, bool, int]:
@@ -232,6 +288,7 @@ def reenterability_storm(
     waves: int = 3,
     workers: int = 1,
     store: ResultStore | None = None,
+    sink: ResultSink | None = None,
 ) -> StormResult:
     """E13: repeated partition waves *during* termination, then heal.
 
@@ -249,13 +306,20 @@ def reenterability_storm(
         seeding="offset",
         fixed={"waves": waves},
     )
-    samples = run_sweep(spec, workers=workers, store=store).values()
+    folder = CellFoldSink(_fold_storm)
+    if sink is None:
+        for result in run_sweep(spec, workers=workers, store=store).results:
+            folder.emit(result)
+    else:
+        run_sweep(spec, workers=workers, store=store, sink=TeeSink(sink, folder))
+    cells = folder.cells()
+    state = cells[0][1] if cells else [0, 0, 0, 0]
     return StormResult(
         protocol=protocol,
         runs=runs,
-        consistent_runs=sum(s[0] for s in samples),
-        terminated_runs=sum(s[1] for s in samples),
-        total_term_attempts=sum(s[2] for s in samples),
+        consistent_runs=state[1],
+        terminated_runs=state[2],
+        total_term_attempts=state[3],
     )
 
 
@@ -309,6 +373,17 @@ def modelcheck_run(seed: int, protocol: str, heal: bool = True) -> bool:
     return bool(cluster.outcome(txn.txn).atomic)
 
 
+def _fold_modelcheck(state, result):
+    """Single-cell streaming fold: atomic count plus violating seeds."""
+    if state is None:
+        state = [0, []]  # atomic runs, seeds with violations
+    if result.value:
+        state[0] += 1
+    else:
+        state[1].append(result.seed)
+    return state
+
+
 def modelcheck(
     protocol: str,
     runs: int = 100,
@@ -316,6 +391,7 @@ def modelcheck(
     heal: bool = True,
     workers: int = 1,
     store: ResultStore | None = None,
+    sink: ResultSink | None = None,
 ) -> ModelCheckResult:
     """E14: randomized fault schedules; assert atomic commitment.
 
@@ -334,9 +410,14 @@ def modelcheck(
         seeding="offset",
         fixed={"heal": heal},
     )
-    results = run_sweep(spec, workers=workers, store=store).results
-    atomic = sum(1 for r in results if r.value)
-    bad_seeds = [r.seed for r in results if not r.value]
+    folder = CellFoldSink(_fold_modelcheck)
+    if sink is None:
+        for result in run_sweep(spec, workers=workers, store=store).results:
+            folder.emit(result)
+    else:
+        run_sweep(spec, workers=workers, store=store, sink=TeeSink(sink, folder))
+    cells = folder.cells()
+    atomic, bad_seeds = cells[0][1] if cells else (0, [])
     return ModelCheckResult(protocol, runs, atomic, len(bad_seeds), bad_seeds)
 
 
@@ -381,6 +462,7 @@ def wan_partition_storm(
     heal: bool = False,
     workers: int = 1,
     store: ResultStore | None = None,
+    sink: ResultSink | None = None,
 ) -> list[SweepRow]:
     """E21: region-wise partition storms over a 32+-site installation.
 
@@ -408,4 +490,4 @@ def wan_partition_storm(
             "heal": heal,
         },
     )
-    return _availability_rows(run_sweep(spec, workers=workers, store=store))
+    return _run_availability_spec(spec, workers, store, sink)

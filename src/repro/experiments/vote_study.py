@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.db.cluster import Cluster
-from repro.engine import ResultStore, SweepSpec, run_sweep
+from repro.engine import CellFoldSink, ResultSink, ResultStore, SweepSpec, TeeSink, run_sweep
 from repro.replication.catalog import CatalogBuilder, ReplicaCatalog
 from repro.sim.rng import RngRegistry
 from repro.workload.generators import random_fault_plan
@@ -106,6 +106,21 @@ def policy_run(
     )
 
 
+def _fold_policy(state, result):
+    """Per-cell streaming fold over (readable, writable, committed,
+    blocked, violated) samples, in historical addition order."""
+    if state is None:
+        state = [0, 0, 0, 0, 0, 0]  # n, readable, writable, committed, blocked, violated
+    readable, writable, committed, blocked, violated = result.value
+    state[0] += 1
+    state[1] += readable
+    state[2] += writable
+    state[3] += committed
+    state[4] += blocked
+    state[5] += violated
+    return state
+
+
 def vote_assignment_study(
     policies: tuple[str, ...] = POLICIES,
     runs: int = 40,
@@ -113,6 +128,7 @@ def vote_assignment_study(
     n_sites: int = 5,
     workers: int = 1,
     store: ResultStore | None = None,
+    sink: ResultSink | None = None,
 ) -> list[PolicyRow]:
     """E19: same faults, different vote assignments, QTP1 throughout."""
     spec = SweepSpec(
@@ -124,18 +140,21 @@ def vote_assignment_study(
         seeding="offset",
         fixed={"n_sites": n_sites},
     )
-    rows = []
-    for params, cell in run_sweep(spec, workers=workers, store=store).by_cell():
-        samples = [r.value for r in cell]
-        rows.append(
-            PolicyRow(
-                policy=params["policy"],
-                runs=len(samples),
-                readable_fraction=sum(s[0] for s in samples) / len(samples),
-                writable_fraction=sum(s[1] for s in samples) / len(samples),
-                committed_runs=sum(s[2] for s in samples),
-                blocked_runs=sum(s[3] for s in samples),
-                violations=sum(s[4] for s in samples),
-            )
+    folder = CellFoldSink(_fold_policy)
+    if sink is None:
+        for result in run_sweep(spec, workers=workers, store=store).results:
+            folder.emit(result)
+    else:
+        run_sweep(spec, workers=workers, store=store, sink=TeeSink(sink, folder))
+    return [
+        PolicyRow(
+            policy=params["policy"],
+            runs=state[0],
+            readable_fraction=state[1] / state[0],
+            writable_fraction=state[2] / state[0],
+            committed_runs=state[3],
+            blocked_runs=state[4],
+            violations=state[5],
         )
-    return rows
+        for params, state in folder.cells()
+    ]

@@ -23,7 +23,7 @@ from typing import Callable
 from repro.common.errors import QuorumUnreachableError, TransactionAborted
 from repro.concurrency.serializability import ConflictGraph
 from repro.db.cluster import Cluster
-from repro.engine import ResultStore, SweepSpec, run_sweep
+from repro.engine import CellFoldSink, ResultSink, ResultStore, SweepSpec, TeeSink, run_sweep
 from repro.sim.failures import FailurePlan
 from repro.sim.rng import RngRegistry
 from repro.workload.generators import (
@@ -145,23 +145,71 @@ def run_workload(
     )
 
 
-def _fold_workload_rows(outcome, protocol_of=lambda params: params["protocol"]) -> list[WorkloadResult]:
-    """Sum per-run :class:`WorkloadResult` tallies into one row per cell."""
+def _fold_workload(state, result):
+    """Per-cell streaming fold over :class:`WorkloadResult` samples.
+
+    Integer tallies accumulate directly; ``readable_fraction`` samples
+    are kept (one float per run) because the historical aggregation
+    sums ``r / n`` terms and ``n`` is only known at the end — dividing
+    first and summing after would round differently.
+    """
+    if state is None:
+        state = [0, 0, 0, 0, 0, True, [], 0]
+        # submitted, committed, client_aborted, protocol_aborted,
+        # blocked, serializable, readable samples, reads_committed
+    value = result.value
+    state[0] += value.submitted
+    state[1] += value.committed
+    state[2] += value.client_aborted
+    state[3] += value.protocol_aborted
+    state[4] += value.blocked
+    state[5] &= value.serializable
+    state[6].append(value.readable_fraction)
+    state[7] += value.reads_committed
+    return state
+
+
+def _workload_fold_rows(
+    folder: CellFoldSink, protocol_of=lambda params: params["protocol"]
+) -> list[WorkloadResult]:
+    """One summed :class:`WorkloadResult` per folded cell.
+
+    Replays the historical float order exactly: ``readable_fraction``
+    is ``0.0 + r_0/n + r_1/n + ...`` in sample order.
+    """
     rows = []
-    for params, cell in outcome.by_cell():
-        results = [r.value for r in cell]
+    for params, state in folder.cells():
         total = WorkloadResult(protocol_of(params), 0, 0, 0, 0, 0, True, 0.0)
-        for result in results:
-            total.submitted += result.submitted
-            total.committed += result.committed
-            total.client_aborted += result.client_aborted
-            total.protocol_aborted += result.protocol_aborted
-            total.blocked += result.blocked
-            total.serializable &= result.serializable
-            total.readable_fraction += result.readable_fraction / len(results)
-            total.reads_committed += result.reads_committed
+        total.submitted, total.committed = state[0], state[1]
+        total.client_aborted, total.protocol_aborted = state[2], state[3]
+        total.blocked, total.serializable = state[4], state[5]
+        total.reads_committed = state[7]
+        for readable in state[6]:
+            total.readable_fraction += readable / len(state[6])
         rows.append(total)
     return rows
+
+
+def _fold_workload_rows(outcome, protocol_of=lambda params: params["protocol"]) -> list[WorkloadResult]:
+    """Sum per-run :class:`WorkloadResult` tallies into one row per cell."""
+    folder = CellFoldSink(_fold_workload)
+    for result in outcome.results:
+        folder.emit(result)
+    return _workload_fold_rows(folder, protocol_of)
+
+
+def _run_workload_spec(
+    spec: SweepSpec,
+    workers: int,
+    store: ResultStore | None,
+    sink: ResultSink | None,
+) -> list[WorkloadResult]:
+    """Run a workload-shaped sweep, streaming when a sink is given."""
+    if sink is None:
+        return _fold_workload_rows(run_sweep(spec, workers=workers, store=store))
+    folder = CellFoldSink(_fold_workload)
+    run_sweep(spec, workers=workers, store=store, sink=TeeSink(sink, folder))
+    return _workload_fold_rows(folder)
 
 
 def workload_study(
@@ -171,6 +219,7 @@ def workload_study(
     base_seed: int = 0,
     workers: int = 1,
     store: ResultStore | None = None,
+    sink: ResultSink | None = None,
 ) -> list[WorkloadResult]:
     """E17 aggregated: sum the tallies over several seeds per protocol.
 
@@ -186,7 +235,7 @@ def workload_study(
         seeding="offset",
         fixed={"n_txns": n_txns},
     )
-    return _fold_workload_rows(run_sweep(spec, workers=workers, store=store))
+    return _run_workload_spec(spec, workers, store, sink)
 
 
 def heavy_failure_plan(
@@ -384,6 +433,7 @@ def heavy_traffic_study(
     base_seed: int = 0,
     workers: int = 1,
     store: ResultStore | None = None,
+    sink: ResultSink | None = None,
 ) -> list[WorkloadResult]:
     """E18 aggregated: heavy-traffic tallies per protocol, same seeds."""
     spec = SweepSpec(
@@ -395,4 +445,4 @@ def heavy_traffic_study(
         seeding="offset",
         fixed={"n_txns": n_txns},
     )
-    return _fold_workload_rows(run_sweep(spec, workers=workers, store=store))
+    return _run_workload_spec(spec, workers, store, sink)

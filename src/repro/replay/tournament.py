@@ -20,7 +20,15 @@ from dataclasses import dataclass
 from typing import Any, Sequence
 
 from repro.common.errors import StoreError
-from repro.engine import ResultStore, SweepSpec, run_sweep
+from repro.engine import (
+    MemorySink,
+    ResultSink,
+    ResultStore,
+    SharedPayload,
+    SweepSpec,
+    TeeSink,
+    run_sweep,
+)
 from repro.replication.catalog import ItemConfig, ReplicaCatalog
 from repro.replay.artifact import RecordedTrace
 
@@ -351,16 +359,33 @@ def run_tournament(
     workers: int = 1,
     store: ResultStore | None = None,
     persistent_pool: bool = False,
+    sink: ResultSink | None = None,
+    share_trace: bool = False,
 ) -> list[dict[str, Any]]:
     """Replay ``trace`` under every configuration; rows in config order.
 
     Fans out through :func:`~repro.engine.run_sweep`, so results are
     byte-identical at every worker count and can be persisted to a
     :class:`~repro.engine.ResultStore` like any sweep.
+
+    ``sink`` routes a large what-if matrix through the streaming
+    backend — rows flow into the caller's sink as cells finish instead
+    of accumulating (the return value is then assembled from a
+    row-keeping tee so config order is preserved).  ``share_trace``
+    publishes the trace's JSONL records once as a
+    :class:`~repro.engine.SharedPayload` instead of re-pickling them
+    into every cell — the win at big matrices; opt-in because the spec
+    summary (and so a persisted artifact's header) then carries the
+    handle's content-free ``{"shared": ...}`` form rather than the full
+    line list.
     """
     configs = tuple(configs)
     if not configs:
         raise StoreError("tournament needs at least one configuration")
+    lines: Any = trace.to_lines()
+    handle = None
+    if share_trace:
+        lines = handle = SharedPayload.publish(lines, label="replay-trace-lines")
     spec = SweepSpec(
         name="replay-tournament",
         task=tournament_run,
@@ -368,11 +393,26 @@ def run_tournament(
         runs=1,
         base_seed=trace.seed,
         seeding="offset",
-        fixed={"trace_lines": trace.to_lines(), "configs": configs},
+        fixed={"trace_lines": lines, "configs": configs},
     )
-    outcome = run_sweep(
-        spec, workers=workers, store=store, persistent_pool=persistent_pool
-    )
+    try:
+        if sink is not None:
+            keeper = sink if sink.keeps_rows else MemorySink()
+            tee = sink if keeper is sink else TeeSink(sink, keeper)
+            run_sweep(
+                spec,
+                workers=workers,
+                store=store,
+                persistent_pool=persistent_pool,
+                sink=tee,
+            )
+            return [r.value for r in keeper.results]
+        outcome = run_sweep(
+            spec, workers=workers, store=store, persistent_pool=persistent_pool
+        )
+    finally:
+        if handle is not None:
+            handle.release()
     return outcome.values()
 
 

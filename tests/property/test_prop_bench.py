@@ -19,6 +19,7 @@ from repro.bench.cases import (
     partition_churn_trial,
     recovery_replay_trial,
     suite_warm_pool_trial,
+    sweep_streaming_trial,
     trace_record_trial,
     wal_append_trial,
     zipf_sampling_trial,
@@ -42,6 +43,7 @@ QUICK_CASES = [
     "recovery_replay",
     "catalog_memo",
     "trace_replay_tournament",
+    "sweep_streaming",
 ]
 
 
@@ -145,6 +147,16 @@ class TestABCountersAgree:
         # probe_sum pins the post-build RNG stream: state-capture hits
         # must leave the caller's draws bit-identical to a rebuild
         assert rebuilt["counters"] == memoized["counters"]
+
+    @given(st.integers(0, 2**20))
+    @settings(max_examples=5, deadline=None)
+    def test_sweep_streaming_counters_identical_across_backends(self, seed):
+        # the streaming pipeline (JsonlSink + per-row reducer) must fold
+        # the exact same rows, digest, and aggregates as the classic
+        # accumulate-then-aggregate path
+        memory = sweep_streaming_trial(seed, streaming=False, n_cells=80, n_items=60)
+        streaming = sweep_streaming_trial(seed, streaming=True, n_cells=80, n_items=60)
+        assert memory["counters"] == streaming["counters"]
 
     @given(st.integers(0, 2**20))
     @settings(max_examples=5, deadline=None)

@@ -6,13 +6,35 @@ several pool widths and require byte-identical artifacts — the property
 the acceptance bar for the parallel engine rests on.  The hypothesis
 cases pin down the seed derivation itself: total, deterministic,
 injective across cells and runs, and independent of grid ordering.
+
+The streaming cases extend the fixed point across *backends*: the
+classic keep-everything path, every sink, and the per-chunk reducer
+path must agree on rows, digests, and aggregates at every worker
+count — and the exact accumulators must satisfy the merge law that
+makes that possible (any partial grouping folds to the same summary).
 """
 
 import random
 
 from hypothesis import given, settings, strategies as st
 
-from repro.engine import ResultStore, SweepSpec, derive_seed, run_sweep
+from repro.engine import (
+    CountAcc,
+    JsonlSink,
+    MeanAcc,
+    MemorySink,
+    NoopSink,
+    QuantileDigest,
+    ReducerSink,
+    ResultStore,
+    RowReducer,
+    SweepSpec,
+    derive_seed,
+    load_stream,
+    merge_digests,
+    row_digest,
+    run_sweep,
+)
 from repro.experiments.sweeps import availability_run
 
 param_values = st.one_of(st.integers(-5, 5), st.sampled_from(["a", "b", "qtp1"]))
@@ -126,3 +148,149 @@ class TestSerialParallelEquivalence:
             run_sweep(spec, workers=w, store=store)
             bytes_by_workers.append(store.path_for("stored").read_bytes())
         assert bytes_by_workers[0] == bytes_by_workers[1]
+
+
+def _metric_reducer() -> RowReducer:
+    return RowReducer(
+        (
+            ("first", "0", MeanAcc()),
+            ("first_digest", "0", QuantileDigest(0.0, 6.0)),
+        )
+    )
+
+
+class TestStreamingFixedPoint:
+    """serial == parallel == streaming, for every backend."""
+
+    def _spec(self) -> SweepSpec:
+        return SweepSpec("fp", pure_task, grid={"scale": [1, 2, 5]}, runs=6)
+
+    def test_memory_sink_matches_default_path_bytes(self):
+        for w in (1, 3):
+            default = run_sweep(self._spec(), workers=w)
+            sunk = run_sweep(self._spec(), workers=w, sink=MemorySink())
+            assert ResultStore.encode(ResultStore.payload(sunk)) == ResultStore.encode(
+                ResultStore.payload(default)
+            )
+
+    def test_digest_identical_across_backends_and_workers(self, tmp_path):
+        digests = set()
+        for w in (1, 2, 3):
+            for make in (NoopSink, MemorySink, lambda: ReducerSink(_metric_reducer())):
+                outcome = run_sweep(self._spec(), workers=w, sink=make())
+                digests.add((outcome.aggregate["rows"], outcome.aggregate["digest"]))
+            jsonl = JsonlSink(tmp_path / f"w{w}.jsonl.gz")
+            run_sweep(self._spec(), workers=w, sink=jsonl)
+            digests.add((jsonl.rows_emitted, jsonl.digest))
+            reduced = run_sweep(self._spec(), workers=w, reduce=_metric_reducer())
+            digests.add((reduced.aggregate["rows"], reduced.aggregate["digest"]))
+        assert len(digests) == 1
+
+    def test_stream_artifact_bytes_identical_across_workers(self, tmp_path):
+        blobs = set()
+        for w in (1, 2, 4):
+            path = tmp_path / f"w{w}.jsonl.gz"
+            run_sweep(self._spec(), workers=w, sink=JsonlSink(path))
+            blobs.add(path.read_bytes())
+        assert len(blobs) == 1
+
+    def test_streamed_rows_equal_stored_rows(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        run_sweep(self._spec(), store=store)
+        path = tmp_path / "rows.jsonl.gz"
+        run_sweep(self._spec(), workers=2, sink=JsonlSink(path))
+        _spec_summary, rows = load_stream(path)
+        assert rows == store.load("fp")["results"]
+
+    def test_simulation_task_streams_identically(self, tmp_path):
+        """The real thing: cluster simulations through the sink path."""
+        spec = SweepSpec(
+            "sim", availability_run, grid={"protocol": ["skq", "qtp1"]}, runs=3,
+            seeding="offset",
+        )
+        default = run_sweep(spec, workers=1)
+        sunk = run_sweep(spec, workers=2, sink=MemorySink())
+        assert sunk.results == default.results
+
+
+class TestStreamingAggregatesMatchEager:
+    @given(st.integers(0, 2**16), st.integers(1, 12), st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_reduce_equals_fold_over_saved_artifact(self, base, runs, chunksize):
+        import tempfile
+
+        spec = SweepSpec(
+            "agg", pure_task, grid={"scale": [1, 4]}, runs=runs, base_seed=base
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            store = ResultStore(tmp)
+            run_sweep(spec, store=store)
+            eager = _metric_reducer()
+            for row in store.load("agg")["results"]:
+                eager.fold_row(row)
+        streamed = run_sweep(spec, workers=2, chunksize=chunksize, reduce=_metric_reducer())
+        assert streamed.aggregate == eager.summary()
+
+    @given(st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=40),
+           st.integers(0, 39))
+    @settings(max_examples=100, deadline=None)
+    def test_mean_acc_merge_law(self, values, cut):
+        cut = min(cut, len(values))
+        serial = MeanAcc()
+        for v in values:
+            serial.add(v)
+        left, right = MeanAcc(), MeanAcc()
+        for v in values[:cut]:
+            left.add(v)
+        for v in values[cut:]:
+            right.add(v)
+        left.merge(right)
+        assert left.summary() == serial.summary()
+        assert left.total == serial.total  # exact, not approximate
+
+    @given(st.lists(st.floats(0, 10, allow_nan=False), min_size=1, max_size=60),
+           st.integers(0, 59))
+    @settings(max_examples=100, deadline=None)
+    def test_quantile_digest_merge_law(self, values, cut):
+        cut = min(cut, len(values))
+        serial = QuantileDigest(0.0, 10.0)
+        for v in values:
+            serial.add(v)
+        left, right = QuantileDigest(0.0, 10.0), QuantileDigest(0.0, 10.0)
+        for v in values[:cut]:
+            left.add(v)
+        for v in values[cut:]:
+            right.add(v)
+        left.merge(right)
+        assert left.summary() == serial.summary()
+
+    @given(st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=30),
+           st.integers(0, 29))
+    @settings(max_examples=50, deadline=None)
+    def test_count_acc_merge_law(self, values, cut):
+        cut = min(cut, len(values))
+        serial = CountAcc()
+        for v in values:
+            serial.add(v)
+        left, right = CountAcc(), CountAcc()
+        for v in values[:cut]:
+            left.add(v)
+        for v in values[cut:]:
+            right.add(v)
+        left.merge(right)
+        assert left.summary() == serial.summary()
+
+    @given(st.lists(st.dictionaries(st.sampled_from(["i", "v"]), st.integers(0, 99),
+                                    min_size=1), min_size=1, max_size=12),
+           st.randoms(use_true_random=False))
+    @settings(max_examples=50, deadline=None)
+    def test_row_digest_sum_is_order_independent(self, rows, rng):
+        forward = 0
+        for row in rows:
+            forward = merge_digests(forward, row_digest(row))
+        shuffled = list(rows)
+        rng.shuffle(shuffled)
+        backward = 0
+        for row in shuffled:
+            backward = merge_digests(backward, row_digest(row))
+        assert forward == backward

@@ -96,6 +96,7 @@ class TestSuite:
             "recovery_replay",
             "catalog_memo",
             "trace_replay_tournament",
+            "sweep_streaming",
         ]
         with pytest.raises(ValueError, match="unknown scale"):
             default_suite("huge")

@@ -1,0 +1,371 @@
+"""Unit tests for the streaming sweep backend: result sinks, the
+JSONL row-stream artifact, shared payloads, and the bounded worker
+cache."""
+
+import gzip
+import io
+import json
+import pickle
+import random
+
+import pytest
+
+from repro.common.errors import StoreError
+from repro.engine import (
+    STREAM_KIND,
+    STREAM_SCHEMA,
+    CellFoldSink,
+    CountAcc,
+    FoldSink,
+    JsonlSink,
+    MeanAcc,
+    MemorySink,
+    NoopSink,
+    PrintingSink,
+    ReducerSink,
+    ResultStore,
+    RowReducer,
+    SharedPayload,
+    SweepSpec,
+    TeeSink,
+    iter_stream_rows,
+    load_stream,
+    run_sweep,
+)
+from repro.engine.executor import WORKER_CACHE_LIMIT, clear_worker_cache, worker_cache
+
+
+def probe_task(seed: int, scale: int = 1) -> dict:
+    """Cheap, seed-sensitive, module-level (so it pickles into pools)."""
+    rng = random.Random(seed)
+    return {"x": rng.random() * scale, "even": seed % 2 == 0}
+
+
+def fragile_task(seed: int) -> int:
+    if seed == 3:
+        raise RuntimeError("boom")
+    return seed
+
+
+def payload_probe_task(seed: int, table: object) -> int:
+    """Reads a resolved SharedPayload value."""
+    return table[seed % len(table)] + seed
+
+
+def _spec(name: str = "s", runs: int = 6, task=probe_task, **kwargs) -> SweepSpec:
+    return SweepSpec(name=name, task=task, grid={"scale": [1, 3]}, runs=runs, **kwargs)
+
+
+def _reducer() -> RowReducer:
+    return RowReducer((("x", "x", MeanAcc()), ("even", "even", CountAcc())))
+
+
+class TestMemorySinkIsTheDefaultPath:
+    def test_results_and_artifact_identical_to_default(self):
+        default = run_sweep(_spec())
+        sunk = run_sweep(_spec(), sink=MemorySink())
+        assert sunk.results == default.results
+        assert ResultStore.encode(ResultStore.payload(sunk)) == ResultStore.encode(
+            ResultStore.payload(default)
+        )
+
+    def test_aggregate_carries_rows_and_digest(self):
+        outcome = run_sweep(_spec(), sink=MemorySink())
+        assert outcome.aggregate["rows"] == len(outcome.results)
+        assert outcome.aggregate["digest"] > 0
+
+
+class TestNoopSink:
+    def test_keeps_nothing_but_digests_everything(self):
+        noop = NoopSink()
+        outcome = run_sweep(_spec(), sink=noop)
+        assert outcome.results == []
+        memory = MemorySink()
+        run_sweep(_spec(), sink=memory)
+        assert noop.digest == memory.digest
+        assert noop.rows_emitted == memory.rows_emitted
+
+
+class TestPrintingSink:
+    def test_writes_one_canonical_line_per_row(self):
+        stream = io.StringIO()
+        run_sweep(_spec(runs=3), sink=PrintingSink(stream))
+        lines = [line for line in stream.getvalue().splitlines() if line]
+        eager = run_sweep(_spec(runs=3))
+        assert [json.loads(line) for line in lines] == [
+            json.loads(json.dumps(ResultStore.row_payload(r), sort_keys=True))
+            for r in eager.results
+        ]
+
+
+class TestJsonlSink:
+    def test_round_trip_matches_eager_rows(self, tmp_path):
+        path = tmp_path / "rows.jsonl.gz"
+        run_sweep(_spec(), sink=JsonlSink(path))
+        spec_summary, rows = load_stream(path)
+        eager = run_sweep(_spec())
+        assert spec_summary["name"] == "s"
+        assert rows == [
+            json.loads(json.dumps(ResultStore.row_payload(r), sort_keys=True))
+            for r in eager.results
+        ]
+
+    def test_bytes_identical_across_worker_counts(self, tmp_path):
+        blobs = set()
+        for w in (1, 2, 3):
+            path = tmp_path / f"w{w}.jsonl.gz"
+            run_sweep(_spec(), workers=w, sink=JsonlSink(path))
+            blobs.add(path.read_bytes())
+        assert len(blobs) == 1
+
+    def test_incremental_writes_match_one_shot_compression(self, tmp_path):
+        """Per-row gzip writes and one batch write are byte-identical."""
+        path = tmp_path / "rows.jsonl.gz"
+        run_sweep(_spec(), sink=JsonlSink(path))
+        logical = gzip.decompress(path.read_bytes())
+        buf = io.BytesIO()
+        with gzip.GzipFile(fileobj=buf, mode="wb", compresslevel=6, mtime=0) as gz:
+            gz.write(logical)
+        assert buf.getvalue() == path.read_bytes()
+
+    def test_header_and_end_records(self, tmp_path):
+        path = tmp_path / "rows.jsonl.gz"
+        run_sweep(_spec(runs=2), sink=JsonlSink(path))
+        records = [
+            json.loads(line)
+            for line in gzip.decompress(path.read_bytes()).decode().splitlines()
+        ]
+        assert records[0]["type"] == "header"
+        assert records[0]["schema"] == STREAM_SCHEMA
+        assert records[0]["kind"] == STREAM_KIND
+        assert records[-1] == {"type": "end", "records": len(records) - 1}
+
+    def test_task_failure_aborts_to_truncated_artifact(self, tmp_path):
+        path = tmp_path / "partial.jsonl.gz"
+        spec = SweepSpec("frail", fragile_task, grid={}, runs=6, seeding="offset")
+        with pytest.raises(RuntimeError, match="boom"):
+            run_sweep(spec, sink=JsonlSink(path))
+        with pytest.raises(StoreError, match="truncated"):
+            list(iter_stream_rows(path))
+
+    def test_truncation_tripwire(self, tmp_path):
+        path = tmp_path / "cut.jsonl.gz"
+        sink = JsonlSink(path)
+        run_sweep(_spec(runs=2), sink=sink)
+        lines = gzip.decompress(path.read_bytes()).splitlines(keepends=True)
+        cut = tmp_path / "no-end.jsonl.gz"
+        cut.write_bytes(gzip.compress(b"".join(lines[:-1]), mtime=0))
+        with pytest.raises(StoreError, match="truncated"):
+            list(iter_stream_rows(cut))
+
+    def test_end_count_mismatch_fails(self, tmp_path):
+        path = tmp_path / "bad-count.jsonl.gz"
+        lines = [
+            json.dumps({"type": "header", "schema": STREAM_SCHEMA, "kind": STREAM_KIND}),
+            json.dumps({"type": "row", "index": 0}),
+            json.dumps({"type": "end", "records": 7}),
+        ]
+        path.write_bytes(gzip.compress("\n".join(lines).encode(), mtime=0))
+        with pytest.raises(StoreError, match="inconsistent"):
+            list(iter_stream_rows(path))
+
+    def test_foreign_and_stale_headers_fail(self, tmp_path):
+        foreign = tmp_path / "foreign.jsonl.gz"
+        foreign.write_bytes(
+            gzip.compress(json.dumps({"type": "header", "kind": "other"}).encode())
+        )
+        with pytest.raises(StoreError, match="bad header"):
+            list(iter_stream_rows(foreign))
+        stale = tmp_path / "stale.jsonl.gz"
+        stale.write_bytes(
+            gzip.compress(
+                json.dumps(
+                    {"type": "header", "kind": STREAM_KIND, "schema": STREAM_SCHEMA + 1}
+                ).encode()
+            )
+        )
+        with pytest.raises(StoreError, match="schema"):
+            list(iter_stream_rows(stale))
+
+    def test_unknown_record_type_fails(self, tmp_path):
+        path = tmp_path / "odd.jsonl.gz"
+        lines = [
+            json.dumps({"type": "header", "schema": STREAM_SCHEMA, "kind": STREAM_KIND}),
+            json.dumps({"type": "mystery"}),
+        ]
+        path.write_bytes(gzip.compress("\n".join(lines).encode()))
+        with pytest.raises(StoreError, match="unknown record type"):
+            list(iter_stream_rows(path))
+
+    def test_corrupt_and_empty_files_fail(self, tmp_path):
+        corrupt = tmp_path / "corrupt.jsonl.gz"
+        corrupt.write_bytes(b"this is not gzip")
+        with pytest.raises(StoreError):
+            list(iter_stream_rows(corrupt))
+        empty = tmp_path / "empty.jsonl.gz"
+        empty.write_bytes(gzip.compress(b""))
+        with pytest.raises(StoreError, match="empty"):
+            list(iter_stream_rows(empty))
+
+
+class TestReducerAndFoldSinks:
+    def test_reducer_sink_matches_eager_fold(self):
+        eager = _reducer()
+        for result in run_sweep(_spec()).results:
+            eager.fold(result)
+        outcome = run_sweep(_spec(), sink=ReducerSink(_reducer()))
+        assert outcome.results == []
+        assert outcome.aggregate == eager.summary()
+
+    def test_reduce_kwarg_matches_sink_and_serial(self):
+        serial = run_sweep(_spec(), reduce=_reducer())
+        parallel = run_sweep(_spec(), workers=2, chunksize=2, reduce=_reducer())
+        sunk = run_sweep(_spec(), sink=ReducerSink(_reducer()))
+        assert serial.aggregate == parallel.aggregate == sunk.aggregate
+        assert serial.results == parallel.results == []
+
+    def test_reduce_template_is_never_mutated(self):
+        template = _reducer()
+        run_sweep(_spec(), reduce=template)
+        assert template.rows == 0 and template.digest == 0
+
+    def test_sink_and_reduce_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            run_sweep(_spec(), sink=NoopSink(), reduce=_reducer())
+
+    def test_fold_sink_sees_every_result_in_order(self):
+        seen = []
+        run_sweep(_spec(runs=3), sink=FoldSink(seen.append))
+        assert [r.index for r in seen] == list(range(len(seen)))
+        assert seen == run_sweep(_spec(runs=3)).results
+
+
+class TestCellFoldSink:
+    def test_matches_by_cell_grouping(self):
+        outcome = run_sweep(_spec())
+        folder = CellFoldSink(lambda state, r: (state or 0) + r.value["x"])
+        for result in outcome.results:
+            folder.emit(result)
+        expected = [
+            (params, sum(r.value["x"] for r in results))
+            for params, results in outcome.by_cell()
+        ]
+        assert folder.cells() == expected
+
+
+class TestTeeSink:
+    def test_children_agree_and_rows_come_from_keeper(self, tmp_path):
+        memory = MemorySink()
+        jsonl = JsonlSink(tmp_path / "rows.jsonl.gz")
+        reducer = ReducerSink(_reducer())
+        tee = TeeSink(jsonl, reducer, memory)
+        outcome = run_sweep(_spec(), sink=tee)
+        assert tee.keeps_rows
+        assert outcome.results == memory.results
+        assert jsonl.digest == reducer.digest == memory.digest == tee.digest
+        assert tee.summary() == jsonl.summary()
+
+    def test_needs_a_child(self):
+        with pytest.raises(ValueError):
+            TeeSink()
+
+
+class TestSharedPayload:
+    def test_publish_resolves_to_same_object(self):
+        table = [10, 20, 30]
+        handle = SharedPayload.publish(table, label="t")
+        try:
+            assert handle.get() is table
+            assert handle.describe() == {"shared": "t"}
+        finally:
+            handle.release()
+
+    def test_pickle_round_trip_resolves_without_registry(self):
+        from repro.engine import shared as shared_mod
+
+        handle = SharedPayload.publish({"k": list(range(50))}, label="remote")
+        try:
+            clone = pickle.loads(pickle.dumps(handle))
+            # simulate a foreign process: neither registry holds the token
+            shared_mod._PUBLISHED.pop(handle.token, None)
+            shared_mod._ATTACHED.pop(handle.token, None)
+            value = clone.get()
+            assert value == {"k": list(range(50))}
+            assert clone.get() is value  # per-process attach cache
+        finally:
+            handle.release()
+
+    def test_inline_fallback_when_shared_memory_unavailable(self, monkeypatch):
+        from multiprocessing import shared_memory
+
+        from repro.engine import shared as shared_mod
+
+        def refuse(*args, **kwargs):
+            raise OSError("no shm here")
+
+        monkeypatch.setattr(shared_memory, "SharedMemory", refuse)
+        handle = SharedPayload.publish([1, 2, 3], label="inline")
+        try:
+            clone = pickle.loads(pickle.dumps(handle))
+            shared_mod._PUBLISHED.pop(handle.token, None)
+            shared_mod._ATTACHED.pop(handle.token, None)
+            assert clone.get() == [1, 2, 3]
+        finally:
+            handle.release()
+
+    def test_release_then_resolve_fails_loudly(self):
+        handle = SharedPayload.publish([1], label="gone")
+        handle.release()
+        with pytest.raises(StoreError):
+            handle.get()
+
+    def test_handles_compare_and_hash_by_token(self):
+        handle = SharedPayload.publish("v", label="eq")
+        try:
+            clone = pickle.loads(pickle.dumps(handle))
+            assert handle == clone and hash(handle) == hash(clone)
+            assert handle != SharedPayload.publish("v", label="eq")
+        finally:
+            handle.release()
+
+    def test_sweep_resolves_payloads_and_headers_stay_content_free(self):
+        table = list(range(100, 110))
+        handle = SharedPayload.publish(table, label="table")
+        try:
+            spec = SweepSpec(
+                "shared",
+                payload_probe_task,
+                grid={},
+                runs=4,
+                seeding="offset",
+                fixed={"table": handle},
+            )
+            serial = run_sweep(spec)
+            parallel = run_sweep(spec, workers=2)
+            assert serial.results == parallel.results
+            assert serial.values() == [table[s % len(table)] + s for s in range(4)]
+            # artifact headers carry the label, never pickled bytes
+            assert serial.spec["fixed"] == {"table": {"shared": "table"}}
+            # results keep the cheap handle, not the resolved value
+            assert serial.results[0].params["table"] == handle
+        finally:
+            handle.release()
+
+
+class TestWorkerCacheBound:
+    def test_fifo_eviction_at_limit(self):
+        clear_worker_cache()
+        try:
+            builds = []
+            for i in range(WORKER_CACHE_LIMIT + 8):
+                worker_cache(("bound", i), lambda i=i: builds.append(i) or i)
+            assert len(builds) == WORKER_CACHE_LIMIT + 8
+            # the newest keys are still cached...
+            newest = WORKER_CACHE_LIMIT + 7
+            worker_cache(("bound", newest), lambda: builds.append("rebuilt"))
+            assert "rebuilt" not in builds
+            # ...while the oldest were evicted FIFO and rebuild on demand
+            worker_cache(("bound", 0), lambda: builds.append("rebuilt"))
+            assert "rebuilt" in builds
+        finally:
+            clear_worker_cache()
