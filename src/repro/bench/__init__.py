@@ -39,6 +39,7 @@ from repro.bench.suite import (
     BenchCase,
     BenchError,
     BenchSuite,
+    BenchTimeout,
     deterministic_payload,
     encode,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "BenchCase",
     "BenchError",
     "BenchSuite",
+    "BenchTimeout",
     "CaseDiff",
     "compare_case",
     "default_suite",

@@ -57,6 +57,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "pool per sweep (needs --workers > 1; counters are identical "
         "either way)",
     )
+    parser.add_argument(
+        "--timeout-s",
+        type=float,
+        default=900.0,
+        metavar="SECONDS",
+        help="soft per-case timeout: a case exceeding it fails fast with all "
+        "thread stacks dumped to stderr instead of hanging the job "
+        "(default 900; 0 disables)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -135,11 +144,22 @@ def _runner_for(args: argparse.Namespace) -> SweepRunner | None:
     return None
 
 
+def _timeout_for(args: argparse.Namespace) -> float | None:
+    """The per-case soft timeout, with 0 (or less) meaning disabled."""
+    timeout = getattr(args, "timeout_s", None)
+    return timeout if timeout is not None and timeout > 0 else None
+
+
 def _cmd_run(suite: BenchSuite, args: argparse.Namespace) -> int:
     store = BaselineStore(args.out)
     runner = _runner_for(args)
     try:
-        payloads = suite.run(args.cases, workers=args.workers, runner=runner)
+        payloads = suite.run(
+            args.cases,
+            workers=args.workers,
+            runner=runner,
+            timeout_s=_timeout_for(args),
+        )
     finally:
         if runner is not None:
             runner.close()
@@ -167,6 +187,7 @@ def _cmd_diff(suite: BenchSuite, args: argparse.Namespace) -> int:
                 workers=args.workers,
                 time_tolerance=args.time_tolerance,
                 runner=runner,
+                timeout_s=_timeout_for(args),
             )
         finally:
             if runner is not None:
@@ -202,7 +223,12 @@ def _cmd_update(suite: BenchSuite, args: argparse.Namespace) -> int:
     store = BaselineStore(args.root)
     runner = _runner_for(args)
     try:
-        payloads = suite.run(args.cases, workers=args.workers, runner=runner)
+        payloads = suite.run(
+            args.cases,
+            workers=args.workers,
+            runner=runner,
+            timeout_s=_timeout_for(args),
+        )
     finally:
         if runner is not None:
             runner.close()

@@ -1115,6 +1115,70 @@ def sweep_streaming_trial(
     }
 
 
+def sweep_resume_trial(
+    seed: int,
+    resilient: bool,
+    n_cells: int = 1_000,
+    n_items: int = 200,
+) -> dict[str, Any]:
+    """A/B of the plain streaming sweep vs the fault-free resilient path.
+
+    Both arms run the same probe sweep into a ``JsonlSink`` artifact;
+    ``resilient=True`` routes through ``run_sweep(on_error="retry")`` —
+    the crash-recovering backend (guarded chunks over a respawnable
+    pool, parent-side retry settle) with **zero faults injected**.  The
+    committed counters include a truncated SHA-256 of the artifact
+    bytes, so the baseline itself proves the resilient path writes the
+    exact bytes the plain path writes; the derived timing is the paired
+    plain/resilient wall ratio plus the overhead percentage, which the
+    baseline pins as within-noise.
+    """
+    import hashlib
+    import tempfile
+    from pathlib import Path
+
+    handle = worker_cache(
+        ("resume-bench-payload", n_items),
+        lambda: SharedPayload.publish(
+            _zipf_bench_catalog(n_items), label="resume-bench-catalog"
+        ),
+    )
+    spec = SweepSpec(
+        name="bench-sweep-resume-cells",
+        task=streaming_probe_cell,
+        grid={},
+        runs=n_cells,
+        base_seed=seed,
+        seeding="offset",
+        fixed={"catalog": handle, "n_items": n_items},
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "rows.jsonl.gz"
+        t0 = time.perf_counter()
+        if resilient:
+            outcome = run_sweep(spec, sink=JsonlSink(path), on_error="retry")
+        else:
+            outcome = run_sweep(spec, sink=JsonlSink(path))
+        wall = time.perf_counter() - t0
+        artifact_sha = hashlib.sha256(path.read_bytes()).hexdigest()
+        rows_loaded = sum(1 for _row in iter_stream_rows(path))
+    agg = outcome.aggregate or {}
+    resilience = outcome.resilience or {}
+    return {
+        "counters": {
+            "rows": agg["rows"],
+            "row_digest": agg["digest"],
+            "rows_loaded": rows_loaded,
+            # identical in both arms by the crash-anywhere property;
+            # truncated so the committed JSON stays readable in review
+            "artifact_sha": artifact_sha[:16],
+            "retried": resilience.get("retried", 0),
+            "quarantined": len(resilience.get("quarantined", [])),
+        },
+        "timing": {"wall_s": wall, "rows": n_cells},
+    }
+
+
 # ----------------------------------------------------------------------
 # the default suite
 # ----------------------------------------------------------------------
@@ -1168,6 +1232,22 @@ def streaming_throughput(rows: list[dict[str, Any]]) -> dict[str, Any]:
     return derived
 
 
+def resume_overhead(rows: list[dict[str, Any]]) -> dict[str, Any]:
+    """Derived-timing hook for ``sweep_resume``.
+
+    The paired plain/resilient wall ratio (via :func:`ab_speedup` —
+    ``speedup`` just below 1.0 means the resilient path costs slightly
+    more) plus the same number as an explicit overhead percentage, the
+    figure the baseline pins as within-noise of ``sweep_streaming``.
+    """
+    derived = ab_speedup("resilient")(rows)
+    legacy = derived.get("legacy_s")
+    optimized = derived.get("optimized_s")
+    if legacy and optimized:
+        derived["overhead_pct"] = round((optimized / legacy - 1.0) * 100.0, 2)
+    return derived
+
+
 #: grid sizes per scale; "quick" keeps the property tests snappy.
 _SCALES = {
     "full": {
@@ -1201,6 +1281,8 @@ _SCALES = {
         "replay_sites": 8,
         "streaming_cells": 100_000,
         "streaming_items": 50_000,
+        "resume_cells": 50_000,
+        "resume_items": 20_000,
         "repeats": 3,
     },
     "quick": {
@@ -1234,6 +1316,8 @@ _SCALES = {
         "replay_sites": 6,
         "streaming_cells": 2_000,
         "streaming_items": 500,
+        "resume_cells": 1_000,
+        "resume_items": 200,
         "repeats": 1,
     },
 }
@@ -1509,6 +1593,22 @@ def default_suite(scale: str = "full") -> BenchSuite:
                 ),
                 repeats=repeats,
                 derived=streaming_throughput,
+            ),
+            BenchCase(
+                name="sweep_resume",
+                spec=SweepSpec(
+                    name="bench-sweep-resume",
+                    task=sweep_resume_trial,
+                    grid={"resilient": [False, True]},
+                    runs=1,
+                    seeding="offset",
+                    fixed={
+                        "n_cells": s["resume_cells"],
+                        "n_items": s["resume_items"],
+                    },
+                ),
+                repeats=repeats,
+                derived=resume_overhead,
             ),
         ]
     )

@@ -195,6 +195,7 @@ def diff_against_baselines(
     workers: int = 1,
     time_tolerance: float = DEFAULT_TIME_TOLERANCE,
     runner: Any | None = None,
+    timeout_s: float | None = None,
 ) -> list[CaseDiff]:
     """Run the suite fresh and compare each case to its baseline.
 
@@ -206,7 +207,7 @@ def diff_against_baselines(
     return [
         _compare_to_baseline(
             name,
-            suite.run_case(name, workers=workers, runner=runner),
+            suite.run_case(name, workers=workers, runner=runner, timeout_s=timeout_s),
             store,
             time_tolerance,
         )

@@ -47,6 +47,58 @@ class BenchError(RuntimeError):
     """A benchmark case misbehaved (nondeterminism, bad task contract)."""
 
 
+class BenchTimeout(BenchError):
+    """A benchmark case overran its soft timeout."""
+
+
+class _CaseWatchdog:
+    """Soft per-case timeout: dump stacks and interrupt, don't hang CI.
+
+    A hung case would otherwise eat the whole CI job's
+    ``timeout-minutes`` and die without diagnostics.  The watchdog arms
+    a daemon timer; on expiry it prints every thread's traceback
+    (``faulthandler``) to stderr and raises ``KeyboardInterrupt`` in
+    the main thread, which :meth:`BenchSuite.run_case` converts into a
+    :class:`BenchTimeout`.  Soft by design — a task stuck in
+    uninterruptible C code can still wedge, but every pure-Python or
+    pool-waiting hang is caught with a usable stack.
+    """
+
+    def __init__(self, case: str, timeout_s: float | None) -> None:
+        self.case = case
+        self.timeout_s = timeout_s
+        self.fired = False
+        self._timer: Any = None
+
+    def __enter__(self) -> "_CaseWatchdog":
+        if self.timeout_s is not None and self.timeout_s > 0:
+            import threading
+
+            self._timer = threading.Timer(self.timeout_s, self._fire)
+            self._timer.daemon = True
+            self._timer.start()
+        return self
+
+    def _fire(self) -> None:
+        import _thread
+        import faulthandler
+        import sys
+
+        self.fired = True
+        print(
+            f"bench: case {self.case!r} exceeded its {self.timeout_s:g}s soft "
+            f"timeout; dumping all thread stacks:",
+            file=sys.stderr,
+            flush=True,
+        )
+        faulthandler.dump_traceback(file=sys.stderr)
+        _thread.interrupt_main()
+
+    def __exit__(self, *exc: Any) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+
+
 @dataclass(frozen=True)
 class BenchCase:
     """One registered benchmark: a sweep plus timing policy.
@@ -166,6 +218,7 @@ class BenchSuite:
         workers: int = 1,
         measure_time: bool = True,
         runner: SweepRunner | None = None,
+        timeout_s: float | None = None,
     ) -> dict[str, Any]:
         """Execute one case; returns its full baseline payload.
 
@@ -176,37 +229,55 @@ class BenchSuite:
         ``workers`` is ignored in favour of the runner's) — counters
         are identical either way.
 
+        ``timeout_s`` arms a soft per-case watchdog (covering *all*
+        repeats): on expiry the case fails fast as a
+        :class:`BenchTimeout` with every thread's stack dumped to
+        stderr, instead of silently eating the CI job's
+        ``timeout-minutes``.
+
         Raises:
             BenchError: when the deterministic rows differ between
                 repeats — a case leaking nondeterminism must fail loudly
                 rather than commit an unstable baseline.
+            BenchTimeout: the case overran ``timeout_s``.
         """
         case = self.case(name)
         repeats = case.repeats if measure_time else 1
         walls: list[float] = []
         rows: list[dict[str, Any]] | None = None
         t_rows: list[dict[str, Any]] = []
-        for repeat in range(repeats):
-            t0 = time.perf_counter()
-            if runner is not None:
-                outcome = runner.run_sweep(case.spec)
-            else:
-                outcome = run_sweep(case.spec, workers=workers)
-            walls.append(time.perf_counter() - t0)
-            fresh = deterministic_rows(case.name, outcome)
-            if rows is None:
-                rows = fresh
-            elif rows != fresh:
-                raise BenchError(
-                    f"case {case.name!r}: deterministic counters differ between "
-                    "repeats — the workload is leaking nondeterminism"
-                )
-            if measure_time:
-                # every repeat contributes timing samples, so derived
-                # numbers (the committed speedups) are not a single
-                # last-repeat measurement
-                for row in timing_rows(case.name, outcome):
-                    t_rows.append({**row, "repeat": repeat})
+        watchdog = _CaseWatchdog(case.name, timeout_s)
+        try:
+            with watchdog:
+                for repeat in range(repeats):
+                    t0 = time.perf_counter()
+                    if runner is not None:
+                        outcome = runner.run_sweep(case.spec)
+                    else:
+                        outcome = run_sweep(case.spec, workers=workers)
+                    walls.append(time.perf_counter() - t0)
+                    fresh = deterministic_rows(case.name, outcome)
+                    if rows is None:
+                        rows = fresh
+                    elif rows != fresh:
+                        raise BenchError(
+                            f"case {case.name!r}: deterministic counters differ between "
+                            "repeats — the workload is leaking nondeterminism"
+                        )
+                    if measure_time:
+                        # every repeat contributes timing samples, so derived
+                        # numbers (the committed speedups) are not a single
+                        # last-repeat measurement
+                        for row in timing_rows(case.name, outcome):
+                            t_rows.append({**row, "repeat": repeat})
+        except KeyboardInterrupt:
+            if not watchdog.fired:
+                raise  # a real Ctrl-C, not the watchdog
+            raise BenchTimeout(
+                f"case {case.name!r} overran its {timeout_s:g}s soft timeout "
+                f"({len(walls)}/{repeats} repeats finished; thread stacks were "
+                "dumped to stderr)"
+            ) from None
         payload: dict[str, Any] = {
             "schema": SCHEMA_VERSION,
             "case": case.name,
@@ -227,17 +298,23 @@ class BenchSuite:
         workers: int = 1,
         measure_time: bool = True,
         runner: SweepRunner | None = None,
+        timeout_s: float | None = None,
     ) -> dict[str, dict[str, Any]]:
         """Execute several cases (default: all), in registration order.
 
         Pass a :class:`~repro.engine.executor.SweepRunner` to run every
         case's sweeps on one warm pool (the ``--persistent-pool`` CLI
         mode): seventeen cases × three repeats then cost one pool, not 51.
+        ``timeout_s`` applies *per case*, not to the whole run.
         """
         picked = list(names) if names is not None else self.names
         return {
             name: self.run_case(
-                name, workers=workers, measure_time=measure_time, runner=runner
+                name,
+                workers=workers,
+                measure_time=measure_time,
+                runner=runner,
+                timeout_s=timeout_s,
             )
             for name in picked
         }

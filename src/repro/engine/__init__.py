@@ -79,6 +79,19 @@ from repro.engine.executor import (
     shutdown_shared_runners,
     worker_cache,
 )
+from repro.engine.resilience import (
+    ChaosPlan,
+    ChaosSink,
+    ChaosTask,
+    FailureManifest,
+    InjectedFault,
+    InjectedSinkError,
+    RetryPolicy,
+    TaskFailure,
+    WorkerCrashError,
+    resolve_policy,
+    run_resilient,
+)
 from repro.engine.shared import SharedPayload
 from repro.engine.sink import (
     STREAM_KIND,
@@ -94,6 +107,7 @@ from repro.engine.sink import (
     TeeSink,
     iter_stream_rows,
     load_stream,
+    scan_partial_stream,
 )
 from repro.engine.spec import RunResult, RunTask, SweepSpec, derive_seed
 from repro.engine.store import (
@@ -115,8 +129,14 @@ __all__ = [
     "WORKER_CACHE_LIMIT",
     "Accumulator",
     "CellFoldSink",
+    "ChaosPlan",
+    "ChaosSink",
+    "ChaosTask",
     "CountAcc",
+    "FailureManifest",
     "FoldSink",
+    "InjectedFault",
+    "InjectedSinkError",
     "JsonlSink",
     "MeanAcc",
     "MemorySink",
@@ -126,6 +146,7 @@ __all__ = [
     "ReducerSink",
     "ResultSink",
     "ResultStore",
+    "RetryPolicy",
     "RowReducer",
     "RunResult",
     "RunTask",
@@ -133,7 +154,9 @@ __all__ = [
     "SweepOutcome",
     "SweepRunner",
     "SweepSpec",
+    "TaskFailure",
     "TeeSink",
+    "WorkerCrashError",
     "canonical_line",
     "count_where",
     "default_chunksize",
@@ -147,8 +170,11 @@ __all__ = [
     "map_runs",
     "mean_of",
     "merge_digests",
+    "resolve_policy",
     "row_digest",
+    "run_resilient",
     "run_sweep",
+    "scan_partial_stream",
     "shared_runner",
     "shutdown_shared_runners",
     "values_of",

@@ -24,6 +24,7 @@ Two pool modes exist:
 
 from __future__ import annotations
 
+import atexit
 import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterable
@@ -131,11 +132,19 @@ class SweepOutcome:
     ``reduce=``): the sink or reducer summary — row count, the
     order-independent row digest, and any reducer metrics.  On the
     default (row-keeping) path it stays ``None``.
+
+    ``resilience`` is populated only by the fault-tolerant path
+    (``on_error=`` / ``resume_from=``): completed/resumed/retried/
+    quarantined/respawns provenance, so a partial result can never be
+    mistaken for a full one.  ``failures`` then lists the quarantined
+    cells as :class:`~repro.engine.resilience.TaskFailure` records.
     """
 
     spec: dict[str, Any]
     results: list[RunResult] = field(default_factory=list)
     aggregate: dict[str, Any] | None = None
+    resilience: dict[str, Any] | None = None
+    failures: list[Any] = field(default_factory=list)
 
     @property
     def name(self) -> str:
@@ -223,10 +232,31 @@ class SweepRunner:
         store: "ResultStore | None" = None,
         sink: "ResultSink | None" = None,
         reduce: "RowReducer | None" = None,
+        on_error: Any = None,
+        resume_from: Any = None,
     ) -> SweepOutcome:
         """Execute one sweep on the warm pool (API mirrors :func:`run_sweep`)."""
         if sink is not None and reduce is not None:
             raise ValueError("pass sink= or reduce=, not both")
+        if on_error is not None or resume_from is not None:
+            # The resilient backend owns its pool (it must be able to
+            # kill and respawn workers); the warm pool stays untouched.
+            if reduce is not None:
+                raise ValueError("on_error/resume_from do not compose with reduce=")
+            from repro.engine.resilience import resolve_policy, run_resilient
+
+            outcome = run_resilient(
+                spec,
+                workers=self.workers,
+                chunksize=chunksize,
+                sink=sink,
+                policy=resolve_policy(on_error),
+                resume_from=resume_from,
+            )
+            self.sweeps_run += 1
+            if store is not None:
+                store.save(outcome)
+            return outcome
         if sink is not None or reduce is not None:
             pool = self._ensure_pool() if self.workers > 1 and spec.n_tasks > 1 else None
             workers = self.workers if pool is not None else 1
@@ -276,6 +306,8 @@ def run_sweep(
     persistent_pool: bool = False,
     sink: "ResultSink | None" = None,
     reduce: "RowReducer | None" = None,
+    on_error: Any = None,
+    resume_from: Any = None,
 ) -> SweepOutcome:
     """Execute a sweep and (optionally) persist its artifact.
 
@@ -306,6 +338,24 @@ def run_sweep(
             partial and ships the partial back instead of the row list;
             partials merge in chunk order and the outcome carries only
             ``aggregate``.  Mutually exclusive with ``sink``.
+        on_error: fault policy for failing tasks.  ``None`` (default)
+            is the exact historical behaviour — the first task
+            exception aborts the sweep.  ``"retry"`` re-runs failed
+            tasks from their pinned per-cell seed under the default
+            :class:`~repro.engine.resilience.RetryPolicy`;
+            ``"quarantine"`` additionally records cells that exhaust
+            their retries into the outcome's failure manifest and
+            keeps sweeping; pass a ``RetryPolicy`` for full control.
+            Any non-``None`` value routes execution through the
+            resilient backend, which also survives worker-process
+            death (the pool is respawned and unacknowledged chunks
+            re-dispatched, exactly-once by task index).
+        resume_from: path of a partial :class:`~repro.engine.sink.JsonlSink`
+            artifact from a crashed run.  Committed rows are salvaged
+            and replayed instead of re-executed, and the finished
+            artifact is byte-identical to an uninterrupted run.  When
+            ``sink`` is ``None``, a ``JsonlSink`` at that path is
+            implied.  Composes with ``on_error``; not with ``reduce``.
 
     Returns:
         A :class:`SweepOutcome` whose ``results`` are in task order —
@@ -316,6 +366,22 @@ def run_sweep(
     """
     if sink is not None and reduce is not None:
         raise ValueError("pass sink= or reduce=, not both")
+    if on_error is not None or resume_from is not None:
+        if reduce is not None:
+            raise ValueError("on_error/resume_from do not compose with reduce=")
+        from repro.engine.resilience import resolve_policy, run_resilient
+
+        outcome = run_resilient(
+            spec,
+            workers=workers,
+            chunksize=chunksize,
+            sink=sink,
+            policy=resolve_policy(on_error),
+            resume_from=resume_from,
+        )
+        if store is not None:
+            store.save(outcome)
+        return outcome
     if persistent_pool and workers > 1:
         return shared_runner(workers).run_sweep(
             spec, chunksize=chunksize, store=store, sink=sink, reduce=reduce
@@ -343,25 +409,39 @@ _SHARED_RUNNERS: dict[int, SweepRunner] = {}
 def shared_runner(workers: int) -> SweepRunner:
     """The process-wide persistent :class:`SweepRunner` for ``workers``.
 
-    The first call registers :func:`shutdown_shared_runners` with
-    ``atexit``, so warm pools opened via ``persistent_pool=True`` are
-    closed at interpreter exit even if the caller never cleans up.
+    :func:`shutdown_shared_runners` is registered with ``atexit`` at
+    import time (see module bottom), so warm pools opened via
+    ``persistent_pool=True`` are closed at interpreter exit even if the
+    caller never cleans up — including after a SIGINT that aborted a
+    sweep mid-flight, which otherwise leaks pool semaphores.
     """
     runner = _SHARED_RUNNERS.get(workers)
     if runner is None:
-        if not _SHARED_RUNNERS:
-            import atexit
-
-            atexit.register(shutdown_shared_runners)
         runner = _SHARED_RUNNERS[workers] = SweepRunner(workers=workers)
     return runner
 
 
 def shutdown_shared_runners() -> None:
-    """Close every process-wide persistent runner (tests / atexit)."""
-    for runner in _SHARED_RUNNERS.values():
-        runner.close()
-    _SHARED_RUNNERS.clear()
+    """Close every process-wide persistent runner (tests / atexit).
+
+    Idempotent: runners are drained from the registry before closing,
+    each :meth:`SweepRunner.close` tolerates an already-closed pool,
+    and one runner failing to close never strands the rest.
+    """
+    while _SHARED_RUNNERS:
+        _, runner = _SHARED_RUNNERS.popitem()
+        try:
+            runner.close()
+        except Exception:  # pragma: no cover - interpreter-teardown noise
+            pass
+
+
+# Registered unconditionally at import: the hook is harmless when no
+# shared runner was ever created (the registry is empty) and guarantees
+# cleanup when one was — even for runs interrupted before their own
+# teardown.  Re-imports don't stack duplicates (modules import once),
+# and the function is idempotent regardless.
+atexit.register(shutdown_shared_runners)
 
 
 def _run_pool(

@@ -62,10 +62,18 @@ class ResultSink:
         self.rows_emitted = 0
         self.digest = 0
         self.spec: dict[str, Any] | None = None
+        self.quarantined: list[int] = []
 
     def open(self, spec_summary: dict[str, Any]) -> None:
         """Called once before the first row."""
         self.spec = spec_summary
+
+    def note_quarantined(self, index: int) -> None:
+        """Record a poison cell the resilient executor quarantined
+        instead of emitting — no row exists for it, but the gap must be
+        attributable, so sinks carry the indices into their summaries
+        (and :class:`JsonlSink` into the artifact's ``end`` record)."""
+        self.quarantined.append(index)
 
     def emit(self, result: RunResult, row: Mapping[str, Any] | None = None) -> None:
         """Receive one result, in task-index order."""
@@ -81,8 +89,16 @@ class ResultSink:
         """Called instead of :meth:`close` when the sweep fails."""
 
     def summary(self) -> dict[str, Any]:
-        """The sink's JSON-able aggregate, seated in the outcome."""
-        return {"rows": self.rows_emitted, "digest": self.digest}
+        """The sink's JSON-able aggregate, seated in the outcome.
+
+        The ``quarantined`` key appears only when cells were actually
+        quarantined, so fault-free summaries keep their historical shape
+        byte-for-byte.
+        """
+        out: dict[str, Any] = {"rows": self.rows_emitted, "digest": self.digest}
+        if self.quarantined:
+            out["quarantined"] = sorted(self.quarantined)
+        return out
 
 
 class NoopSink(ResultSink):
@@ -188,7 +204,14 @@ class JsonlSink(ResultSink):
     def close(self) -> None:
         if self._gz is None:
             return
-        self._write_line({"type": "end", "records": self._lines})
+        end: dict[str, Any] = {"type": "end", "records": self._lines}
+        if self.quarantined:
+            # Poison cells leave index gaps in the stream; the end
+            # record owns up to them so a reader can distinguish "these
+            # cells failed" from "this artifact is damaged".  Absent on
+            # fault-free runs, keeping historical artifacts byte-stable.
+            end["quarantined"] = sorted(self.quarantined)
+        self._write_line(end)
         self._gz.close()
         self._file.close()
         self._gz = self._file = None
@@ -217,38 +240,58 @@ def iter_stream_rows(path: str | Path) -> Iterator[dict[str, Any]]:
     """
     try:
         with gzip.open(path, "rt", encoding="utf-8") as f:
-            lines = (line for line in f if line.strip())
-            try:
-                header = json.loads(next(lines))
-            except StopIteration:
-                raise StoreError(f"empty row-stream artifact {path}") from None
-            if header.get("type") != "header" or header.get("kind") != STREAM_KIND:
-                raise StoreError(f"{path} is not a sweep row stream (bad header)")
-            if header.get("schema") != STREAM_SCHEMA:
-                raise StoreError(
-                    f"row stream {path} has schema {header.get('schema')!r}, "
-                    f"this library reads schema {STREAM_SCHEMA}; regenerate it"
-                )
-            count = 1
-            for line in lines:
-                record = json.loads(line)
+            # Offsets are into the *decompressed* stream — the address a
+            # reader can actually seek to after gunzipping, and the only
+            # stable coordinate (compressed offsets shift with level).
+            offset = 0
+            count = 0
+            header: dict[str, Any] | None = None
+            for line in f:
+                line_offset = offset
+                offset += len(line.encode("utf-8"))
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise StoreError(
+                        f"row stream {path} has a corrupt record at byte offset "
+                        f"{line_offset} (decompressed): {exc}"
+                    ) from None
                 count += 1
+                if header is None:
+                    header = record
+                    if header.get("type") != "header" or header.get("kind") != STREAM_KIND:
+                        raise StoreError(f"{path} is not a sweep row stream (bad header)")
+                    if header.get("schema") != STREAM_SCHEMA:
+                        raise StoreError(
+                            f"row stream {path} has schema {header.get('schema')!r}, "
+                            f"this library reads schema {STREAM_SCHEMA}; regenerate it"
+                        )
+                    continue
                 if record.get("type") == "end":
                     if record.get("records") != count - 1:
                         raise StoreError(
-                            f"row stream {path} is inconsistent: end record "
-                            f"claims {record.get('records')} lines, found {count - 1}"
+                            f"row stream {path} is inconsistent: end record at byte "
+                            f"offset {line_offset} (decompressed) claims "
+                            f"{record.get('records')} lines, found {count - 1}"
                         )
                     return
                 if record.get("type") != "row":
                     raise StoreError(
                         f"row stream {path} has unknown record type "
-                        f"{record.get('type')!r}"
+                        f"{record.get('type')!r} at byte offset {line_offset} "
+                        f"(decompressed)"
                     )
                 yield {k: v for k, v in record.items() if k != "type"}
-    except (OSError, EOFError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            if header is None:
+                raise StoreError(f"empty row-stream artifact {path}")
+    except (OSError, EOFError, UnicodeDecodeError) as exc:
         raise StoreError(f"cannot read row-stream artifact {path}: {exc}") from None
-    raise StoreError(f"row stream {path} is truncated (no end record)")
+    raise StoreError(
+        f"row stream {path} is truncated (no end record; clean prefix ends at "
+        f"byte offset {offset} decompressed)"
+    )
 
 
 def load_stream(path: str | Path) -> tuple[dict[str, Any], list[dict[str, Any]]]:
@@ -256,12 +299,105 @@ def load_stream(path: str | Path) -> tuple[dict[str, Any], list[dict[str, Any]]]
 
     Convenience for small streams and tests; big streams should use
     :func:`iter_stream_rows` and never materialize the list.
+
+    Raises:
+        StoreError: everything :func:`iter_stream_rows` raises, plus
+            unreadable/empty headers — no raw ``OSError`` leaks out.
     """
-    with gzip.open(path, "rt", encoding="utf-8") as f:
-        first = json.loads(next(line for line in f if line.strip()))
+    try:
+        with gzip.open(path, "rt", encoding="utf-8") as f:
+            first = None
+            for line in f:
+                if line.strip():
+                    first = json.loads(line)
+                    break
+    except (OSError, EOFError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StoreError(f"cannot read row-stream artifact {path}: {exc}") from None
+    if first is None:
+        raise StoreError(f"empty row-stream artifact {path}")
     spec = first.get("spec") if isinstance(first, dict) else None
     rows = list(iter_stream_rows(path))
     return spec or {}, rows
+
+
+def scan_partial_stream(
+    path: str | Path, expect_spec: Mapping[str, Any] | None = None
+) -> dict[int, dict[str, Any]]:
+    """Salvage the committed rows of a *partial* :class:`JsonlSink` artifact.
+
+    The read side of the resume protocol: returns ``{task_index: row}``
+    for the longest clean prefix of row records, deduplicated by task
+    index (first occurrence wins).  Damage *after* the clean prefix —
+    a truncated gzip stream, a record cut mid-line by a crash — is
+    expected and silently ends the scan; damage *before* any row could
+    be trusted is not:
+
+    Raises:
+        StoreError: missing-or-broken header, foreign ``kind``,
+            mismatched ``schema``, a header ``spec`` differing from
+            ``expect_spec`` (resuming someone else's sweep would
+            silently mix incompatible rows), or a *complete* artifact
+            (an ``end`` record means there is nothing to resume).
+
+    A nonexistent ``path`` is a fresh start, not an error — crash-loop
+    automation can pass ``resume_from=`` unconditionally.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {}
+    committed: dict[int, dict[str, Any]] = {}
+    try:
+        f = gzip.open(path, "rt", encoding="utf-8")
+    except OSError as exc:
+        raise StoreError(f"cannot read partial artifact {path}: {exc}") from None
+    with f:
+        try:
+            first = None
+            for line in f:
+                if line.strip():
+                    first = json.loads(line)
+                    break
+        except (OSError, EOFError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise StoreError(
+                f"partial artifact {path} has no intact header: {exc}"
+            ) from None
+        if first is None:
+            raise StoreError(f"partial artifact {path} has no intact header (empty)")
+        if first.get("type") != "header" or first.get("kind") != STREAM_KIND:
+            raise StoreError(
+                f"{path} is not a sweep row stream (bad header); refusing to resume"
+            )
+        if first.get("schema") != STREAM_SCHEMA:
+            raise StoreError(
+                f"partial artifact {path} has schema {first.get('schema')!r}, "
+                f"this library resumes schema {STREAM_SCHEMA}"
+            )
+        if expect_spec is not None and first.get("spec") != jsonable(expect_spec):
+            raise StoreError(
+                f"partial artifact {path} was written by a different sweep spec; "
+                f"refusing to resume into it"
+            )
+        try:
+            for line in f:
+                if not line.strip():
+                    continue
+                if not line.endswith("\n"):
+                    break  # the crash cut this record mid-line
+                record = json.loads(line)
+                if record.get("type") == "end":
+                    raise StoreError(
+                        f"artifact {path} is complete (end record present); "
+                        f"there is nothing to resume"
+                    )
+                if record.get("type") != "row":
+                    break  # foreign record — trust ends at the last clean row
+                index = record.get("index")
+                if not isinstance(index, int):
+                    break
+                committed.setdefault(index, {k: v for k, v in record.items() if k != "type"})
+        except (OSError, EOFError, UnicodeDecodeError, json.JSONDecodeError):
+            pass  # truncated gzip stream: the clean prefix ends here
+    return committed
 
 
 class FoldSink(ResultSink):
@@ -298,7 +434,10 @@ class ReducerSink(ResultSink):
         self.digest = self.reducer.digest
 
     def summary(self) -> dict[str, Any]:
-        return self.reducer.summary()
+        out = self.reducer.summary()
+        if self.quarantined:
+            out = {**out, "quarantined": sorted(self.quarantined)}
+        return out
 
 
 class CellFoldSink(ResultSink):
@@ -378,6 +517,11 @@ class TeeSink(ResultSink):
         for sink in self.sinks:
             sink.emit(result, row)
         self.digest = self.sinks[0].digest
+
+    def note_quarantined(self, index: int) -> None:
+        super().note_quarantined(index)
+        for sink in self.sinks:
+            sink.note_quarantined(index)
 
     def close(self) -> None:
         for sink in self.sinks:

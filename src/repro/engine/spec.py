@@ -53,7 +53,9 @@ class RunTask:
 
     ``index`` is the task's position in the spec's expansion order;
     executors must report results in index order so output never
-    depends on completion order.
+    depends on completion order.  It is also the coordinate the
+    resilience layer keys on: retries, chunk re-dispatch after a worker
+    crash, and resume dedup all identify work by task index.
     """
 
     index: int
@@ -79,6 +81,12 @@ class RunTask:
             }
         else:
             call_params = params
+        if getattr(self.task, "needs_task_index", False):
+            # Index-aware tasks (the chaos harness keys fault schedules
+            # by task index) get it as an extra keyword; it never enters
+            # params, the seed derivation, or the result row.
+            call_params = dict(call_params)
+            call_params["task_index"] = self.index
         value = self.task(seed=self.seed, **call_params)
         return RunResult(
             index=self.index,

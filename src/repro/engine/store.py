@@ -123,13 +123,22 @@ class ResultStore:
 
     @staticmethod
     def payload(outcome: SweepOutcome) -> dict[str, Any]:
-        """The artifact dict for an executed sweep."""
-        return {
+        """The artifact dict for an executed sweep.
+
+        The ``resilience`` block (retry/quarantine/resume provenance)
+        appears only when the sweep actually ran under the resilient
+        path, so fault-free artifacts keep their historical bytes.
+        """
+        out = {
             "schema": SCHEMA_VERSION,
             "sweep": outcome.name,
             "spec": outcome.spec,
             "results": [ResultStore.row_payload(r) for r in outcome.results],
         }
+        resilience = getattr(outcome, "resilience", None)
+        if resilience is not None:
+            out["resilience"] = jsonable(resilience)
+        return out
 
     @staticmethod
     def encode(payload: dict[str, Any]) -> str:

@@ -1,0 +1,168 @@
+"""Integration tests for sweep-engine fault tolerance under the chaos
+harness: worker-process death, sink I/O faults with resume, and
+quarantine manifests — each pinned against the byte-identity invariant
+(every recovery path converges to the uninterrupted artifact)."""
+
+import random
+
+import pytest
+
+from repro.engine import (
+    ChaosPlan,
+    FailureManifest,
+    JsonlSink,
+    RetryPolicy,
+    SweepSpec,
+    WorkerCrashError,
+    run_sweep,
+)
+from repro.engine.resilience import InjectedSinkError
+
+
+def cell_task(seed: int, width: int = 3) -> dict:
+    rng = random.Random(seed)
+    return {"votes": [rng.randrange(100) for _ in range(width)], "seed": seed}
+
+
+def _spec(task, runs: int = 12) -> SweepSpec:
+    return SweepSpec(
+        name="chaos-study",
+        task=task,
+        grid={"width": [2, 4]},
+        runs=runs,
+        seeding="offset",
+    )
+
+
+def _reference_bytes(plan_dir, path, runs: int = 12, **sweep_kwargs) -> bytes:
+    """The uninterrupted artifact for a chaos-wrapped spec: same wrapped
+    task (same artifact header), every fault pre-claimed so none fire."""
+    plan = ChaosPlan(plan_dir)
+    run_sweep(_spec(plan.wrap(cell_task), runs), sink=JsonlSink(path), **sweep_kwargs)
+    return path.read_bytes()
+
+
+class TestWorkerCrashRecovery:
+    def test_killed_worker_is_respawned_and_rows_converge(self, tmp_path):
+        reference = _reference_bytes(tmp_path / "ref-state", tmp_path / "ref.jsonl.gz")
+
+        plan = ChaosPlan(tmp_path / "state").kill_worker(5)
+        path = tmp_path / "rows.jsonl.gz"
+        outcome = run_sweep(
+            _spec(plan.wrap(cell_task)),
+            workers=3,
+            sink=JsonlSink(path),
+            on_error="retry",
+        )
+        assert outcome.resilience["respawns"] >= 1
+        assert outcome.resilience["completed"] == 24
+        assert path.read_bytes() == reference
+
+    def test_multiple_kills_within_budget(self, tmp_path):
+        reference = _reference_bytes(tmp_path / "ref-state", tmp_path / "ref.jsonl.gz")
+
+        plan = ChaosPlan(tmp_path / "state").kill_worker(2).kill_worker(17)
+        path = tmp_path / "rows.jsonl.gz"
+        outcome = run_sweep(
+            _spec(plan.wrap(cell_task)),
+            workers=2,
+            sink=JsonlSink(path),
+            on_error=RetryPolicy(max_attempts=2, backoff=0.0, respawn_limit=4),
+        )
+        assert 1 <= outcome.resilience["respawns"] <= 4
+        assert path.read_bytes() == reference
+
+    def test_respawn_budget_exhaustion_raises_worker_crash_error(self, tmp_path):
+        plan = ChaosPlan(tmp_path / "state")
+        for index in range(8):
+            plan.kill_worker(index)
+        with pytest.raises(WorkerCrashError, match="respawn"):
+            run_sweep(
+                _spec(plan.wrap(cell_task)),
+                workers=2,
+                on_error=RetryPolicy(max_attempts=1, respawn_limit=0),
+            )
+
+
+class TestSinkFaultResume:
+    def test_sink_fault_then_resume_converges_to_reference(self, tmp_path):
+        reference = _reference_bytes(tmp_path / "ref-state", tmp_path / "ref.jsonl.gz")
+
+        path = tmp_path / "rows.jsonl.gz"
+        crash_plan = ChaosPlan(tmp_path / "state").fail_sink(7)
+        spec = _spec(crash_plan.wrap(cell_task))
+        with pytest.raises(InjectedSinkError):
+            run_sweep(spec, sink=crash_plan.wrap_sink(JsonlSink(path)), on_error="retry")
+        # the interrupted artifact is detectably partial...
+        assert path.read_bytes() != reference
+        # ...and one resumed run rewrites it to the uninterrupted bytes
+        outcome = run_sweep(spec, resume_from=path, on_error="retry")
+        assert outcome.resilience["resumed"] == 7
+        assert outcome.resilience["completed"] == 24
+        assert path.read_bytes() == reference
+
+    def test_resume_after_worker_kill_composes(self, tmp_path):
+        reference = _reference_bytes(tmp_path / "ref-state", tmp_path / "ref.jsonl.gz")
+
+        path = tmp_path / "rows.jsonl.gz"
+        plan = ChaosPlan(tmp_path / "state").fail_sink(3).kill_worker(9)
+        spec = _spec(plan.wrap(cell_task))
+        with pytest.raises(InjectedSinkError):
+            run_sweep(
+                spec,
+                workers=2,
+                sink=plan.wrap_sink(JsonlSink(path)),
+                on_error="retry",
+            )
+        outcome = run_sweep(
+            spec,
+            workers=2,
+            sink=plan.wrap_sink(JsonlSink(path)),
+            resume_from=path,
+            on_error="retry",
+        )
+        assert outcome.resilience["resumed"] >= 1
+        assert path.read_bytes() == reference
+
+    def test_resume_from_nonexistent_path_is_a_plain_run(self, tmp_path):
+        reference = _reference_bytes(tmp_path / "ref-state", tmp_path / "ref.jsonl.gz")
+        path = tmp_path / "fresh.jsonl.gz"
+        plan = ChaosPlan(tmp_path / "state")
+        outcome = run_sweep(_spec(plan.wrap(cell_task)), resume_from=path)
+        assert outcome.resilience["resumed"] == 0
+        assert path.read_bytes() == reference
+
+
+class TestQuarantineManifest:
+    def test_poison_cells_survive_a_manifest_roundtrip(self, tmp_path):
+        plan = ChaosPlan(tmp_path / "state").fail_task(4, attempts=5).fail_task(11, attempts=5)
+        outcome = run_sweep(
+            _spec(plan.wrap(cell_task)),
+            workers=2,
+            on_error=RetryPolicy(max_attempts=2, backoff=0.0, quarantine=True),
+        )
+        assert outcome.resilience["quarantined"] == [4, 11]
+        manifest = FailureManifest(sweep=outcome.name, records=outcome.failures)
+        loaded = FailureManifest.load(manifest.save(tmp_path / "failures.json"))
+        assert loaded.indices() == [4, 11]
+        assert all(r.error == "InjectedFault" for r in loaded.records)
+        assert all(r.attempts == 2 for r in loaded.records)
+
+    def test_quarantined_artifact_resumes_the_gaps_too(self, tmp_path):
+        # quarantined cells heal after their scheduled fault count: a
+        # resume re-executes only the gap indices and the artifact
+        # converges to the fault-free reference
+        reference = _reference_bytes(tmp_path / "ref-state", tmp_path / "ref.jsonl.gz")
+
+        path = tmp_path / "rows.jsonl.gz"
+        plan = ChaosPlan(tmp_path / "state").fail_task(6, attempts=1).fail_sink(10)
+        spec = _spec(plan.wrap(cell_task))
+        with pytest.raises(InjectedSinkError):
+            run_sweep(
+                spec,
+                sink=plan.wrap_sink(JsonlSink(path)),
+                on_error=RetryPolicy(max_attempts=1, quarantine=True),
+            )
+        outcome = run_sweep(spec, resume_from=path, on_error="retry")
+        assert outcome.resilience["quarantined"] == []
+        assert path.read_bytes() == reference

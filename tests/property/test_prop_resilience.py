@@ -1,0 +1,204 @@
+"""The crash-anywhere property: a sweep interrupted at ANY point and
+resumed converges to an artifact byte-identical to the uninterrupted
+run — across sinks, worker counts, and fault types.
+
+This is the resilience layer's acceptance bar, the analogue of the
+engine's serial==parallel fixed point.  The tier-1 cases sample the
+crash grid (hypothesis picks crash rows and pool widths); the
+``chaos``-marked cases sweep it exhaustively and add worker-kill
+crashes — the weekly CI chaos job runs those.
+"""
+
+import random
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import (
+    ChaosPlan,
+    CountAcc,
+    JsonlSink,
+    ReducerSink,
+    RetryPolicy,
+    RowReducer,
+    SweepSpec,
+    TeeSink,
+    run_sweep,
+)
+from repro.engine.resilience import InjectedSinkError
+
+
+def wobble_task(seed: int, gain: int = 1) -> dict:
+    rng = random.Random(seed)
+    return {"y": rng.random() * gain, "n": seed % 5}
+
+
+N_TASKS = 18  # 2-point grid x 9 runs
+
+
+def _spec(task) -> SweepSpec:
+    return SweepSpec("crashprop", task, grid={"gain": [1, 3]}, runs=9, seeding="offset")
+
+
+def _reference(tmp: Path) -> bytes:
+    """Uninterrupted artifact for the chaos-wrapped spec (no faults)."""
+    path = tmp / "ref.jsonl.gz"
+    plan = ChaosPlan(tmp / "ref-state")
+    run_sweep(_spec(plan.wrap(wobble_task)), sink=JsonlSink(path))
+    return path.read_bytes()
+
+
+def _crash_then_resume(tmp: Path, crash_row: int, workers: int) -> bytes:
+    """Abort at the ``crash_row``-th sink write, then resume once."""
+    path = tmp / "rows.jsonl.gz"
+    plan = ChaosPlan(tmp / "state").fail_sink(crash_row)
+    spec = _spec(plan.wrap(wobble_task))
+    with pytest.raises(InjectedSinkError):
+        run_sweep(
+            spec, workers=workers, sink=plan.wrap_sink(JsonlSink(path)), on_error="retry"
+        )
+    run_sweep(spec, workers=workers, resume_from=path, on_error="retry")
+    return path.read_bytes()
+
+
+class TestCrashAnywhereResume:
+    @given(crash_row=st.integers(0, N_TASKS - 1), workers=st.sampled_from([1, 2]))
+    @settings(max_examples=10, deadline=None)
+    def test_resumed_bytes_equal_uninterrupted(self, crash_row, workers):
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp = Path(tmp)
+            assert _crash_then_resume(tmp, crash_row, workers) == _reference(tmp)
+
+    def test_double_crash_double_resume_converges(self, tmp_path):
+        # crash, resume into a second crash, resume again: the artifact
+        # still converges — resume composes with itself
+        path = tmp_path / "rows.jsonl.gz"
+        plan = ChaosPlan(tmp_path / "state").fail_sink(4).fail_sink(11)
+        spec = _spec(plan.wrap(wobble_task))
+        sink = plan.wrap_sink(JsonlSink(path))
+        with pytest.raises(InjectedSinkError):
+            run_sweep(spec, sink=sink, on_error="retry")
+        with pytest.raises(InjectedSinkError):
+            run_sweep(
+                spec,
+                sink=plan.wrap_sink(JsonlSink(path)),
+                resume_from=path,
+                on_error="retry",
+            )
+        run_sweep(spec, resume_from=path, on_error="retry")
+        assert path.read_bytes() == _reference(tmp_path)
+
+    def test_resume_through_a_tee_preserves_sibling_aggregates(self, tmp_path):
+        def reducer():
+            return RowReducer((("n", "n", CountAcc()),))
+
+        ref_bytes = _reference(tmp_path)
+        ref_plan = ChaosPlan(tmp_path / "agg-state")
+        ref = run_sweep(_spec(ref_plan.wrap(wobble_task)), sink=ReducerSink(reducer()))
+
+        path = tmp_path / "rows.jsonl.gz"
+        plan = ChaosPlan(tmp_path / "state").fail_sink(9)
+        spec = _spec(plan.wrap(wobble_task))
+        with pytest.raises(InjectedSinkError):
+            run_sweep(
+                spec,
+                sink=plan.wrap_sink(TeeSink(JsonlSink(path), ReducerSink(reducer()))),
+                on_error="retry",
+            )
+        sibling = ReducerSink(reducer())
+        run_sweep(
+            spec,
+            sink=TeeSink(JsonlSink(path), sibling),
+            resume_from=path,
+            on_error="retry",
+        )
+        assert path.read_bytes() == ref_bytes
+        # the sibling reducer saw replayed + fresh rows exactly once each
+        assert sibling.summary()["metrics"] == ref.aggregate["metrics"]
+        assert sibling.digest == ref.aggregate["digest"]
+
+    @given(
+        poison=st.sets(st.integers(0, N_TASKS - 1), min_size=1, max_size=3),
+        workers=st.sampled_from([1, 2]),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_quarantine_is_deterministic_across_worker_counts(self, poison, workers):
+        policy = RetryPolicy(max_attempts=2, backoff=0.0, quarantine=True)
+
+        def poisoned_bytes(tmp: Path, w: int) -> tuple[bytes, list[int]]:
+            plan = ChaosPlan(tmp / f"state-w{w}")
+            for index in poison:
+                plan.fail_task(index, attempts=5)  # never heals within policy
+            path = tmp / f"rows-w{w}.jsonl.gz"
+            outcome = run_sweep(
+                _spec(plan.wrap(wobble_task)), workers=w, sink=JsonlSink(path),
+                on_error=policy,
+            )
+            return path.read_bytes(), outcome.resilience["quarantined"]
+
+        with tempfile.TemporaryDirectory() as tmp:
+            tmp = Path(tmp)
+            serial_bytes, serial_q = poisoned_bytes(tmp, 1)
+            pooled_bytes, pooled_q = poisoned_bytes(tmp, workers)
+            assert serial_q == pooled_q == sorted(poison)
+            assert serial_bytes == pooled_bytes
+
+
+@pytest.mark.chaos
+class TestCrashAnywhereDeepGrid:
+    """Exhaustive crash grid — every crash row at several pool widths,
+    plus worker-kill crashes.  Minutes, not seconds: runs under
+    ``-m chaos`` in the weekly CI chaos job."""
+
+    def test_every_crash_row_every_worker_count(self):
+        for workers in (1, 2, 3):
+            for crash_row in range(N_TASKS):
+                with tempfile.TemporaryDirectory() as tmp:
+                    tmp = Path(tmp)
+                    resumed = _crash_then_resume(tmp, crash_row, workers)
+                    assert resumed == _reference(tmp), (
+                        f"diverged at crash_row={crash_row} workers={workers}"
+                    )
+
+    def test_kill_any_worker_converges_without_resume(self):
+        for workers in (2, 3):
+            for victim in range(0, N_TASKS, 2):
+                with tempfile.TemporaryDirectory() as tmp:
+                    tmp = Path(tmp)
+                    reference = _reference(tmp)
+                    plan = ChaosPlan(tmp / "state").kill_worker(victim)
+                    path = tmp / "rows.jsonl.gz"
+                    outcome = run_sweep(
+                        _spec(plan.wrap(wobble_task)),
+                        workers=workers,
+                        sink=JsonlSink(path),
+                        on_error="retry",
+                    )
+                    assert outcome.resilience["respawns"] >= 1
+                    assert path.read_bytes() == reference, (
+                        f"diverged at victim={victim} workers={workers}"
+                    )
+
+    def test_kill_then_sink_crash_then_resume(self):
+        for crash_row in range(2, N_TASKS, 4):
+            with tempfile.TemporaryDirectory() as tmp:
+                tmp = Path(tmp)
+                reference = _reference(tmp)
+                path = tmp / "rows.jsonl.gz"
+                plan = (
+                    ChaosPlan(tmp / "state")
+                    .kill_worker((crash_row + 5) % N_TASKS)
+                    .fail_sink(crash_row)
+                )
+                spec = _spec(plan.wrap(wobble_task))
+                with pytest.raises(InjectedSinkError):
+                    run_sweep(
+                        spec,
+                        workers=2,
+                        sink=plan.wrap_sink(JsonlSink(path)),
+                        on_error="retry",
+                    )
+                run_sweep(spec, workers=2, resume_from=path, on_error="retry")
+                assert path.read_bytes() == reference, f"diverged at crash_row={crash_row}"

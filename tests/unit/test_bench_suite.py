@@ -32,6 +32,14 @@ def bad_task(seed: int) -> int:
     return seed
 
 
+def sleepy_task(seed: int) -> dict:
+    """Sleeps past the watchdog tests' soft timeout."""
+    import time
+
+    time.sleep(0.4)
+    return {"counters": {"v": seed}, "timing": {"wall_s": 0.001}}
+
+
 def tiny_case(name="toy", runs=2, task=counting_task, grid=None):
     if grid is None:
         grid = {"scale": [1, 3]}
@@ -97,9 +105,30 @@ class TestSuite:
             "catalog_memo",
             "trace_replay_tournament",
             "sweep_streaming",
+            "sweep_resume",
         ]
         with pytest.raises(ValueError, match="unknown scale"):
             default_suite("huge")
+
+
+class TestSoftTimeout:
+    def test_overrunning_case_raises_bench_timeout(self):
+        from repro.bench import BenchTimeout
+
+        suite = BenchSuite([tiny_case(name="sleepy", task=sleepy_task, grid={})])
+        with pytest.raises(BenchTimeout, match="soft timeout"):
+            suite.run_case("sleepy", timeout_s=0.15)
+
+    def test_fast_case_is_untouched_by_the_watchdog(self):
+        suite = BenchSuite([tiny_case()])
+        with_watchdog = suite.run_case("toy", timeout_s=60.0, measure_time=False)
+        without = suite.run_case("toy", measure_time=False)
+        assert with_watchdog == without
+
+    def test_zero_and_none_disable_the_watchdog(self):
+        suite = BenchSuite([tiny_case()])
+        assert suite.run_case("toy", timeout_s=0, measure_time=False)["case"] == "toy"
+        assert suite.run_case("toy", timeout_s=None, measure_time=False)["case"] == "toy"
 
 
 class TestBaselineStore:

@@ -31,6 +31,7 @@ from repro.engine import (
     iter_stream_rows,
     load_stream,
     run_sweep,
+    scan_partial_stream,
 )
 from repro.engine.executor import WORKER_CACHE_LIMIT, clear_worker_cache, worker_cache
 
@@ -206,6 +207,158 @@ class TestJsonlSink:
         empty.write_bytes(gzip.compress(b""))
         with pytest.raises(StoreError, match="empty"):
             list(iter_stream_rows(empty))
+
+
+class TestCorruptionErrorsNameOffsets:
+    """Corruption errors must name the artifact path and the byte offset
+    of the bad record, not just a category word."""
+
+    def _artifact(self, tmp_path, lines, name="bad.jsonl.gz"):
+        path = tmp_path / name
+        path.write_bytes(gzip.compress(("\n".join(lines) + "\n").encode(), mtime=0))
+        return path
+
+    def test_garbled_record_names_path_and_offset(self, tmp_path):
+        header = json.dumps(
+            {"type": "header", "schema": STREAM_SCHEMA, "kind": STREAM_KIND}
+        )
+        path = self._artifact(tmp_path, [header, "{not json"])
+        with pytest.raises(StoreError) as err:
+            list(iter_stream_rows(path))
+        message = str(err.value)
+        assert str(path) in message
+        # the bad record starts right after the header line + newline
+        assert f"byte offset {len(header) + 1}" in message
+
+    def test_unknown_record_type_names_offset(self, tmp_path):
+        header = json.dumps(
+            {"type": "header", "schema": STREAM_SCHEMA, "kind": STREAM_KIND}
+        )
+        path = self._artifact(tmp_path, [header, json.dumps({"type": "mystery"})])
+        with pytest.raises(StoreError, match="unknown record type") as err:
+            list(iter_stream_rows(path))
+        assert f"byte offset {len(header) + 1}" in str(err.value)
+
+    def test_inconsistent_end_record_names_offset(self, tmp_path):
+        header = json.dumps(
+            {"type": "header", "schema": STREAM_SCHEMA, "kind": STREAM_KIND}
+        )
+        row = json.dumps({"type": "row", "index": 0})
+        end = json.dumps({"type": "end", "records": 7})
+        path = self._artifact(tmp_path, [header, row, end])
+        with pytest.raises(StoreError, match="inconsistent") as err:
+            list(iter_stream_rows(path))
+        assert f"byte offset {len(header) + len(row) + 2}" in str(err.value)
+
+    def test_truncated_stream_reports_clean_prefix_end(self, tmp_path):
+        path = tmp_path / "full.jsonl.gz"
+        run_sweep(_spec(runs=2), sink=JsonlSink(path))
+        logical = gzip.decompress(path.read_bytes()).splitlines(keepends=True)
+        cut = tmp_path / "cut.jsonl.gz"
+        cut.write_bytes(gzip.compress(b"".join(logical[:-1]), mtime=0))
+        with pytest.raises(StoreError, match="truncated") as err:
+            list(iter_stream_rows(cut))
+        prefix = sum(len(line) for line in logical[:-1])
+        assert f"byte offset {prefix}" in str(err.value)
+
+    def test_load_stream_wraps_unreadable_files_in_store_error(self, tmp_path):
+        not_gzip = tmp_path / "raw.jsonl.gz"
+        not_gzip.write_bytes(b"plainly not gzip")
+        with pytest.raises(StoreError, match="cannot read"):
+            load_stream(not_gzip)
+        empty = tmp_path / "void.jsonl.gz"
+        empty.write_bytes(gzip.compress(b""))
+        with pytest.raises(StoreError, match="empty"):
+            load_stream(empty)
+
+
+class TestScanPartialStream:
+    """The salvage half of the resume protocol."""
+
+    def _aborted(self, tmp_path):
+        path = tmp_path / "partial.jsonl.gz"
+        spec = SweepSpec("frail", fragile_task, grid={}, runs=6, seeding="offset")
+        with pytest.raises(RuntimeError, match="boom"):
+            run_sweep(spec, sink=JsonlSink(path))
+        return path, spec
+
+    def test_salvages_committed_prefix_of_aborted_artifact(self, tmp_path):
+        path, spec = self._aborted(tmp_path)
+        committed = scan_partial_stream(path, expect_spec=spec.summary())
+        assert sorted(committed) == [0, 1, 2]  # seed 3 aborted the sweep
+        assert committed[2]["value"] == 2
+        assert all(row["index"] == i for i, row in committed.items())
+
+    def test_nonexistent_path_is_a_fresh_start(self, tmp_path):
+        assert scan_partial_stream(tmp_path / "never-written.jsonl.gz") == {}
+
+    def test_complete_artifact_is_rejected(self, tmp_path):
+        path = tmp_path / "done.jsonl.gz"
+        run_sweep(_spec(runs=2), sink=JsonlSink(path))
+        with pytest.raises(StoreError, match="nothing to resume"):
+            scan_partial_stream(path)
+
+    def test_foreign_header_schema_and_spec_are_rejected(self, tmp_path):
+        foreign = tmp_path / "foreign.jsonl.gz"
+        foreign.write_bytes(
+            gzip.compress(json.dumps({"type": "header", "kind": "other"}).encode())
+        )
+        with pytest.raises(StoreError, match="refusing to resume"):
+            scan_partial_stream(foreign)
+
+        stale = tmp_path / "stale.jsonl.gz"
+        stale.write_bytes(
+            gzip.compress(
+                json.dumps(
+                    {"type": "header", "kind": STREAM_KIND, "schema": STREAM_SCHEMA + 1}
+                ).encode()
+            )
+        )
+        with pytest.raises(StoreError, match="schema"):
+            scan_partial_stream(stale)
+
+        path, spec = self._aborted(tmp_path)
+        other = SweepSpec("other", fragile_task, grid={}, runs=6, seeding="offset")
+        with pytest.raises(StoreError, match="different sweep spec"):
+            scan_partial_stream(path, expect_spec=other.summary())
+
+    def test_unreadable_and_headerless_artifacts_are_rejected(self, tmp_path):
+        not_gzip = tmp_path / "raw.jsonl.gz"
+        not_gzip.write_bytes(b"plainly not gzip")
+        with pytest.raises(StoreError, match="no intact header"):
+            scan_partial_stream(not_gzip)
+        empty = tmp_path / "void.jsonl.gz"
+        empty.write_bytes(gzip.compress(b""))
+        with pytest.raises(StoreError, match="no intact header"):
+            scan_partial_stream(empty)
+
+    def test_record_cut_mid_line_ends_the_scan_silently(self, tmp_path):
+        path, _ = self._aborted(tmp_path)
+        logical = gzip.decompress(path.read_bytes()).splitlines(keepends=True)
+        # chop the final committed row in half, crash-style: no newline
+        damaged = b"".join(logical[:-1]) + logical[-1][: len(logical[-1]) // 2]
+        cut = tmp_path / "cut.jsonl.gz"
+        cut.write_bytes(gzip.compress(damaged, mtime=0))
+        assert sorted(scan_partial_stream(cut)) == [0, 1]
+
+    def test_truncated_gzip_stream_ends_the_scan_silently(self, tmp_path):
+        path, _ = self._aborted(tmp_path)
+        raw = path.read_bytes()
+        torn = tmp_path / "torn.jsonl.gz"
+        torn.write_bytes(raw[: len(raw) - 8])  # lose the gzip trailer + tail
+        committed = scan_partial_stream(torn)
+        assert set(committed) <= {0, 1, 2}
+
+    def test_duplicate_indices_keep_the_first_row(self, tmp_path):
+        lines = [
+            json.dumps({"type": "header", "schema": STREAM_SCHEMA, "kind": STREAM_KIND}),
+            json.dumps({"type": "row", "index": 0, "value": "first"}),
+            json.dumps({"type": "row", "index": 0, "value": "second"}),
+        ]
+        path = tmp_path / "dupes.jsonl.gz"
+        path.write_bytes(gzip.compress(("\n".join(lines) + "\n").encode(), mtime=0))
+        committed = scan_partial_stream(path)
+        assert committed[0]["value"] == "first"
 
 
 class TestReducerAndFoldSinks:

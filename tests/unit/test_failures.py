@@ -1,8 +1,10 @@
 """Unit tests for the failure plan and injector."""
 
+import pytest
+
 from repro.net.network import Network
 from repro.net.node import Node
-from repro.sim.failures import FailureInjector, FailurePlan
+from repro.sim.failures import FailureInjector, FailurePlan, JoinSite
 from repro.sim.rng import RngRegistry
 from repro.sim.scheduler import Scheduler
 from repro.sim.trace import Tracer
@@ -29,6 +31,40 @@ class TestPlanBuilding:
     def test_sever_both_adds_two_actions(self):
         plan = FailurePlan().sever_both(1.0, 2, 3)
         assert len(plan) == 2
+
+    def test_describe_full_format(self):
+        # one line per action, t= prefix from the %g-rendered time, the
+        # dataclass repr after the colon — the exact log format the
+        # experiment harness prints alongside results
+        plan = FailurePlan().crash(1.5, 2).heal(10.0)
+        lines = plan.describe().splitlines()
+        assert lines == [
+            "t=1.5: CrashSite(time=1.5, site=2)",
+            "t=10: HealNetwork(time=10.0)",
+        ]
+
+    def test_describe_empty_plan(self):
+        assert FailurePlan().describe() == ""
+
+    def test_describe_stable_under_equal_times(self):
+        # sorted() is stable: same-time actions keep insertion order
+        plan = FailurePlan().crash(1.0, 3).recover(1.0, 2)
+        lines = plan.describe().splitlines()
+        assert "CrashSite" in lines[0] and "RecoverSite" in lines[1]
+
+    def test_join_freezes_copies_sorted(self):
+        plan = FailurePlan().join(2.0, 9, copies={"y": 2, "x": 1}, near=3)
+        action = plan.actions[0]
+        assert isinstance(action, JoinSite)
+        # mapping frozen to a sorted tuple: hashable, deterministic
+        # regardless of dict insertion order
+        assert action.copies == (("x", 1), ("y", 2))
+        assert action.near == 3
+
+    def test_join_without_copies_is_pure_coordinator(self):
+        plan = FailurePlan().join(2.0, 9)
+        assert plan.actions[0].copies == ()
+        assert plan.actions[0].near is None
 
 
 class TestInjection:
@@ -58,6 +94,44 @@ class TestInjection:
         scheduler.run()
         # directed loss installed: 1 -> 2 drops, 2 -> 1 passes
         assert network._link_loss == {(1, 2): 1.0}
+
+    def test_link_loss_zero_restores_the_link(self):
+        # p=0.0 is "heal this link": the entry is removed outright, not
+        # kept as a pointless never-drops record
+        scheduler, network = make_net()
+        FailureInjector(scheduler, network).arm(
+            FailurePlan().sever(1.0, 1, 2, p=0.7).sever(2.0, 1, 2, p=0.0)
+        )
+        scheduler.run()
+        assert network._link_loss == {}
+
+    def test_link_loss_probability_validated(self):
+        scheduler, network = make_net()
+        injector = FailureInjector(scheduler, network)
+        injector.arm(FailurePlan().sever(1.0, 1, 2, p=1.5))
+        with pytest.raises(ValueError, match="outside"):
+            scheduler.run()
+        # the invalid action must not be recorded as applied
+        assert injector.applied == []
+
+    def test_join_without_membership_handler_raises(self):
+        scheduler, network = make_net()
+        injector = FailureInjector(scheduler, network)  # no membership=
+        injector.arm(FailurePlan().join(1.0, 9))
+        with pytest.raises(TypeError, match="membership handler"):
+            scheduler.run()
+        assert injector.applied == []
+
+    def test_join_delegates_to_membership_handler(self):
+        scheduler, network = make_net()
+        seen: list[JoinSite] = []
+        injector = FailureInjector(scheduler, network, membership=seen.append)
+        injector.arm(FailurePlan().join(3.0, 9, copies={"x": 1}, near=2))
+        scheduler.run()
+        assert [a.site for a in seen] == [9]
+        assert seen[0].copies == (("x", 1),)
+        # applied only after the handler succeeded
+        assert injector.applied == seen
 
     def test_events_are_traced(self):
         scheduler, network = make_net()

@@ -79,6 +79,59 @@ class TestPersistentPoolFlag:
             shutdown_shared_runners()
 
 
+class TestSharedRunnerShutdown:
+    def test_shutdown_is_idempotent(self):
+        runner = shared_runner(2)
+        runner.run_sweep(_spec("cleanup", runs=2))
+        shutdown_shared_runners()
+        # second (and third) calls find an empty registry and do nothing
+        shutdown_shared_runners()
+        shutdown_shared_runners()
+        # the registry really was drained, not just closed in place
+        assert shared_runner(2) is not runner
+        shutdown_shared_runners()
+
+    def test_shutdown_registered_with_atexit(self):
+        # interrupted runs (SIGINT mid-sweep) must not leak pool
+        # semaphores: the hook is registered at *import* time, so a
+        # bare `import` + exit closes whatever runners exist — proven
+        # in a subprocess, where interpreter exit actually happens
+        import subprocess
+        import sys
+
+        code = (
+            "import repro.engine.executor as ex\n"
+            "class Probe:\n"
+            "    def close(self):\n"
+            "        print('RUNNER-CLOSED-AT-EXIT', flush=True)\n"
+            "ex._SHARED_RUNNERS[2] = Probe()\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "RUNNER-CLOSED-AT-EXIT" in proc.stdout
+
+    def test_shutdown_tolerates_a_failing_runner(self):
+        class ExplodingRunner:
+            def close(self):
+                raise RuntimeError("pool teardown failed")
+
+        from repro.engine.executor import _SHARED_RUNNERS
+
+        try:
+            _SHARED_RUNNERS[99] = ExplodingRunner()
+            real = shared_runner(2)
+            shutdown_shared_runners()  # must not raise, must drain both
+            assert _SHARED_RUNNERS == {}
+            assert real._pool is None
+        finally:
+            _SHARED_RUNNERS.clear()
+
+
 class TestWorkerCache:
     def test_builds_once_per_key(self):
         clear_worker_cache()
