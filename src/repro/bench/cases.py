@@ -20,6 +20,18 @@ Representative workloads covered:
   scenario drivers (Zipf skew, read-dominated mix, cross-region WAN
   transactions, elastic membership under a partition storm), pinned
   from day one (:mod:`repro.experiments.workload_scenarios`).
+* ``open_loop_service`` — E26: one open-loop service interval at a
+  sustained arrival rate through a partition episode, with streaming
+  p50/p99/p999 latency counters
+  (:func:`~repro.experiments.service_study.run_open_loop_service`).
+* ``ramp_ceiling`` — E26 ramp: step the arrival rate across fresh
+  service intervals until the p99 knee or the abort-rate SLO trips;
+  pins the discovered throughput ceiling
+  (:func:`~repro.experiments.service_study.discover_ceiling`).
+* ``lock_probe`` — A/B microbench of the vote-hook lock probe: the
+  historical allocating ``all(compatible_with...)`` holder scan vs the
+  exclusive-holder counter (two integer tests); grant decisions are
+  identical on both arms, only the wall time may differ.
 * ``net_deliver_fanout`` — A/B microbench of the ``Network`` fan-out
   path: legacy per-message connectivity evaluation vs the
   partition-epoch reachable-peer cache.
@@ -70,6 +82,7 @@ from typing import Any
 
 from repro.bench.suite import BenchCase, BenchSuite
 from repro.common.errors import QuorumUnreachableError, TransactionAborted
+from repro.concurrency.locks import LockManager, LockMode
 from repro.db.cluster import Cluster
 from repro.engine.aggregate import CountAcc, MeanAcc, QuantileDigest, RowReducer
 from repro.engine.executor import SweepRunner, run_sweep, worker_cache
@@ -284,6 +297,106 @@ def elastic_join_trial(
     t0 = time.perf_counter()
     counters = run_elastic_join(protocol, seed=seed, n_txns=n_txns, n_joins=n_joins)
     return {"counters": counters, "timing": {"wall_s": time.perf_counter() - t0}}
+
+
+# ----------------------------------------------------------------------
+# E26 open-loop service + SLO ramp
+# ----------------------------------------------------------------------
+
+
+def open_loop_service_trial(
+    seed: int, protocol: str, rate: float = 1.5, duration: float = 120.0, n_sites: int = 9
+) -> dict[str, Any]:
+    """One E26 open-loop service interval; counters from the service
+    result (offered / shed / latency percentiles) plus the cluster
+    probe (network / WAL / scheduler tallies)."""
+    from repro.experiments.service_study import run_open_loop_service
+
+    harvested: dict[str, Any] = {}
+    t0 = time.perf_counter()
+    result = run_open_loop_service(
+        protocol,
+        seed=seed,
+        rate=rate,
+        duration=duration,
+        n_sites=n_sites,
+        probe=lambda cluster: harvested.update(_cluster_counters(cluster)),
+    )
+    wall = time.perf_counter() - t0
+    counters = {**result.counters(), **harvested}
+    return {"counters": counters, "timing": {"wall_s": wall}}
+
+
+def ramp_ceiling_trial(
+    seed: int,
+    protocol: str,
+    rates: list[float] | None = None,
+    duration: float = 60.0,
+) -> dict[str, Any]:
+    """One E26 ramp-discovery sweep; counters pin the discovered
+    ceiling, what tripped it, and the per-step p99 / committed / shed
+    trajectories."""
+    from repro.experiments.service_study import discover_ceiling
+
+    t0 = time.perf_counter()
+    result = discover_ceiling(
+        protocol,
+        seed=seed,
+        rates=tuple(rates) if rates is not None else (0.5, 1.0, 2.0, 4.0, 8.0),
+        duration=duration,
+    )
+    return {"counters": result.counters(), "timing": {"wall_s": time.perf_counter() - t0}}
+
+
+# ----------------------------------------------------------------------
+# lock-probe microbench
+# ----------------------------------------------------------------------
+
+
+def lock_probe_trial(
+    seed: int, tracked: bool, n_readers: int = 400, probes: int = 20_000, n_items: int = 12
+) -> dict[str, Any]:
+    """Vote-hook lock probes against heavily shared items.
+
+    ``n_readers`` transactions hold shared locks on every item, then a
+    prober replays a pre-drawn script of ``try_acquire`` calls (mostly
+    shared, a quarter exclusive).  The ``tracked`` grid axis selects
+    the exclusive-holder counter (``True``) or the historical
+    ``legacy_probe`` allocating compatibility scan (``False``), which
+    walks all ``n_readers`` holders per shared probe.  The script is
+    drawn before the clock starts, so grant/refuse counters must be
+    identical on both arms — only the wall time may differ.
+    """
+    rng = RngRegistry(seed).stream("lock-probe")
+    manager = LockManager(0, legacy_probe=not tracked)
+    items = [f"item-{i}" for i in range(n_items)]
+    script = [(rng.choice(items), rng.random() < 0.25) for _ in range(probes)]
+
+    granted = refused = 0
+    t0 = time.perf_counter()
+    for reader in range(n_readers):
+        for item in items:
+            manager.try_acquire(f"reader-{reader}", item, LockMode.SHARED)
+    for item, exclusive in script:
+        mode = LockMode.EXCLUSIVE if exclusive else LockMode.SHARED
+        if manager.try_acquire("prober", item, mode):
+            granted += 1
+            manager.release_all("prober")
+        else:
+            refused += 1
+    for reader in range(n_readers):
+        manager.release_all(f"reader-{reader}")
+    wall = time.perf_counter() - t0
+    return {
+        "counters": {
+            "granted": granted,
+            "refused": refused,
+            "probes": probes,
+            "readers": n_readers,
+            "table_empty": not manager._items,
+        },
+        "timing": {"wall_s": wall},
+    }
 
 
 # ----------------------------------------------------------------------
@@ -1283,6 +1396,13 @@ _SCALES = {
         "streaming_items": 50_000,
         "resume_cells": 50_000,
         "resume_items": 20_000,
+        "service_rate": 1.5,
+        "service_duration": 120.0,
+        "service_sites": 9,
+        "ramp_rates": [0.5, 1.0, 2.0, 4.0, 8.0],
+        "ramp_duration": 60.0,
+        "probe_readers": 400,
+        "probe_count": 20_000,
         "repeats": 3,
     },
     "quick": {
@@ -1318,6 +1438,13 @@ _SCALES = {
         "streaming_items": 500,
         "resume_cells": 1_000,
         "resume_items": 200,
+        "service_rate": 0.8,
+        "service_duration": 30.0,
+        "service_sites": 6,
+        "ramp_rates": [0.5, 1.5],
+        "ramp_duration": 20.0,
+        "probe_readers": 40,
+        "probe_count": 1_000,
         "repeats": 1,
     },
 }
@@ -1425,6 +1552,53 @@ def default_suite(scale: str = "full") -> BenchSuite:
                     fixed={"n_txns": s["elastic_txns"]},
                 ),
                 repeats=repeats,
+            ),
+            BenchCase(
+                name="open_loop_service",
+                spec=SweepSpec(
+                    name="bench-open-loop-service",
+                    task=open_loop_service_trial,
+                    grid={"protocol": ["2pc", "qtp1"]},
+                    runs=2,
+                    seeding="offset",
+                    fixed={
+                        "rate": s["service_rate"],
+                        "duration": s["service_duration"],
+                        "n_sites": s["service_sites"],
+                    },
+                ),
+                repeats=repeats,
+            ),
+            BenchCase(
+                name="ramp_ceiling",
+                spec=SweepSpec(
+                    name="bench-ramp-ceiling",
+                    task=ramp_ceiling_trial,
+                    grid={"protocol": ["qtp1", "qtp2"]},
+                    runs=1,
+                    seeding="offset",
+                    fixed={
+                        "rates": s["ramp_rates"],
+                        "duration": s["ramp_duration"],
+                    },
+                ),
+                repeats=repeats,
+            ),
+            BenchCase(
+                name="lock_probe",
+                spec=SweepSpec(
+                    name="bench-lock-probe",
+                    task=lock_probe_trial,
+                    grid={"tracked": [False, True]},
+                    runs=2,
+                    seeding="offset",
+                    fixed={
+                        "n_readers": s["probe_readers"],
+                        "probes": s["probe_count"],
+                    },
+                ),
+                repeats=repeats,
+                derived=ab_speedup("tracked"),
             ),
             BenchCase(
                 name="net_deliver_fanout",

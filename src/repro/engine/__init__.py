@@ -61,6 +61,7 @@ Extreme-scale sweeps (10^5–10^6 cells) add two opt-in layers on top
 from repro.engine.aggregate import (
     Accumulator,
     CountAcc,
+    DigestMergeAcc,
     MeanAcc,
     QuantileDigest,
     RowReducer,
@@ -133,6 +134,7 @@ __all__ = [
     "ChaosSink",
     "ChaosTask",
     "CountAcc",
+    "DigestMergeAcc",
     "FailureManifest",
     "FoldSink",
     "InjectedFault",

@@ -232,7 +232,16 @@ class QuantileDigest(Accumulator):
             self.max = other.max if self.max is None else max(self.max, other.max)
 
     def quantile(self, q: float) -> float:
-        """The estimated ``q``-quantile (0 <= q <= 1); 0.0 when empty."""
+        """The estimated ``q``-quantile (0 <= q <= 1).
+
+        An empty digest returns the defined sentinel 0.0 (there is no
+        observed range to clamp to).  Non-empty estimates interpolate
+        linearly inside the target bin and are clamped to the exact
+        observed ``[min, max]`` — the clamp tests ``is not None``, never
+        truthiness, so an observed extreme of exactly 0.0 still clamps
+        (a digest saturated into one bin reports that bin's observed
+        extreme, not an interpolated point beyond it).
+        """
         if not self.n:
             return 0.0
         rank = max(1, -(-int(q * self.n * 1000000) // 1000000))  # ceil, float-safe
@@ -243,7 +252,11 @@ class QuantileDigest(Accumulator):
             if cumulative + count >= rank:
                 inside = (rank - cumulative) / count
                 estimate = self.lo + width * (index + inside)
-                return min(max(estimate, self.min or estimate), self.max or estimate)
+                if self.min is not None:
+                    estimate = max(estimate, self.min)
+                if self.max is not None:
+                    estimate = min(estimate, self.max)
+                return estimate
             cumulative += count
         return self.max if self.max is not None else 0.0
 
@@ -260,6 +273,81 @@ class QuantileDigest(Accumulator):
 
     def fresh(self) -> "QuantileDigest":
         return QuantileDigest(self.lo, self.hi, self.bins)
+
+    def state(self) -> dict[str, Any]:
+        """The digest's full JSON-able state (exact bin counts).
+
+        Round-trips through :meth:`from_state` / :meth:`absorb`, so a
+        run can ship its latency digest inside a result row and a later
+        consumer can merge digests across runs without ever having seen
+        the raw samples.
+        """
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "bins": self.bins,
+            "counts": list(self.counts),
+            "n": self.n,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "QuantileDigest":
+        """Rebuild a digest from :meth:`state` output (e.g. a JSON row)."""
+        digest = cls(state["lo"], state["hi"], state["bins"])
+        counts = list(state["counts"])
+        if len(counts) != digest.bins:
+            raise ValueError(
+                f"state carries {len(counts)} counts for {digest.bins} bins"
+            )
+        digest.counts = counts
+        digest.n = int(state["n"])
+        digest.min = state["min"]
+        digest.max = state["max"]
+        return digest
+
+    def absorb(self, state: Mapping[str, Any]) -> None:
+        """Merge a serialized digest state in (see :meth:`state`)."""
+        self.merge(QuantileDigest.from_state(state))
+
+
+class DigestMergeAcc(Accumulator):
+    """Fold serialized digest states from result rows into one digest.
+
+    Rows produced by open-loop service runs carry their latency digest
+    as a :meth:`QuantileDigest.state` dict; this accumulator absorbs
+    those states so a sweep's reducer can report fleet-wide tail
+    percentiles (p999 included) without per-op lists ever existing.
+    Merging bin counts is integer addition, so partials grouped any way
+    summarize byte-identically.
+    """
+
+    kind = "digest_merge"
+
+    def __init__(self, lo: float, hi: float, bins: int = 64) -> None:
+        self.digest = QuantileDigest(lo, hi, bins)
+
+    def add(self, value: Any) -> None:
+        self.digest.absorb(value)
+
+    def merge(self, other: "DigestMergeAcc") -> None:
+        self.digest.merge(other.digest)
+
+    def summary(self) -> dict[str, Any]:
+        digest = self.digest
+        return {
+            "kind": self.kind,
+            "n": digest.n,
+            "min": digest.min if digest.min is not None else 0.0,
+            "max": digest.max if digest.max is not None else 0.0,
+            "p50": digest.quantile(0.50),
+            "p99": digest.quantile(0.99),
+            "p999": digest.quantile(0.999),
+        }
+
+    def fresh(self) -> "DigestMergeAcc":
+        return DigestMergeAcc(self.digest.lo, self.digest.hi, self.digest.bins)
 
 
 def resolve_path(value: Any, path: str) -> Any:

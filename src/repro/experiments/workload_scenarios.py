@@ -25,12 +25,12 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.common.errors import QuorumUnreachableError, TransactionAborted
 from repro.concurrency.serializability import ConflictGraph
 from repro.db.cluster import Cluster
 from repro.experiments.workload_study import run_heavy_workload
 from repro.sim.failures import FailurePlan, JoinSite
 from repro.sim.rng import RngRegistry
+from repro.traffic import TrafficEngine
 from repro.workload.generators import (
     memoized_catalog,
     random_catalog,
@@ -170,29 +170,9 @@ def run_cross_region(
     plan.heal(partition_window[1])
     cluster.arm_failures(plan)
 
-    tallies = {"submitted": 0, "refused": 0, "cross_origin": 0}
-    handles: dict[str, Any] = {}
-
-    def submit_one(index: int) -> None:
-        origin, writes = compiled.next_update(rng)
-        if origin not in cluster.sites or not cluster.sites[origin].alive:
-            return
-        # the generator drew the origin from the hosts of the *first
-        # picked* item — writes preserves that pick order
-        first = next(iter(writes))
-        remote = origin not in catalog.sites_of(first)
-        tallies["submitted"] += 1
-        tallies["cross_origin"] += remote
-        try:
-            handle = cluster.update(origin, writes)
-        except QuorumUnreachableError:
-            tallies["refused"] += 1
-            return
-        handles[handle.txn] = handle
-
-    for i, at in enumerate(compiled.arrivals(rng)):
-        cluster.scheduler.call_at(at, submit_one, i)
-    cluster.run()
+    engine = TrafficEngine(cluster, compiled, rng)
+    engine.run_closed(submit=engine.submit_direct)
+    tallies, handles = engine.tallies, engine.handles
 
     committed = aborted = blocked = holding = 0
     for txn in handles:
@@ -271,31 +251,11 @@ def run_elastic_join(
     plan.heal(70.0)
     cluster.arm_failures(plan)
 
-    outcomes: dict[str, str] = {}
-    handles: dict[str, Any] = {}
-
-    def submit_one(index: int) -> None:
-        op = compiled.next_op(rng)
-        if not cluster.sites[op.origin].alive:
-            return
-        txn = cluster.transaction(op.origin)
-        try:
-            for item in op.items:
-                value = txn.read(item)
-                txn.write(item, value + 1)
-            handle = txn.submit()
-        except TransactionAborted:
-            outcomes[txn.txn] = "client-aborted"
-            return
-        except QuorumUnreachableError:
-            txn.abort()  # still ACTIVE: release the read locks it took
-            outcomes[txn.txn] = "client-aborted"
-            return
-        handles[handle.txn] = handle
-
-    for i, at in enumerate(compiled.arrivals(rng)):
-        cluster.scheduler.call_at(at, submit_one, i)
-    cluster.run()
+    engine = TrafficEngine(cluster, compiled, rng)
+    # the interactive policy: the spec has no read fraction, so the
+    # engine's read fast path is dead and the stream is draw-for-draw
+    # the historical update loop
+    outcomes, handles = engine.run_closed()
 
     committed = aborted = blocked = 0
     for txn in handles:

@@ -13,19 +13,22 @@ actually experiences under each protocol:
 
 Transactions arrive on the virtual clock, so their reads and commits
 genuinely interleave with the fault schedule.
+
+Both drive loops live on the shared :class:`~repro.traffic.TrafficEngine`
+(closed-loop mode); :class:`~repro.traffic.WorkloadResult` and
+:func:`~repro.traffic.tally_stream` are re-exported here for
+compatibility with historical imports.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.common.errors import QuorumUnreachableError, TransactionAborted
-from repro.concurrency.serializability import ConflictGraph
 from repro.db.cluster import Cluster
 from repro.engine import CellFoldSink, ResultSink, ResultStore, SweepSpec, TeeSink, run_sweep
 from repro.sim.failures import FailurePlan
 from repro.sim.rng import RngRegistry
+from repro.traffic import TrafficEngine, WorkloadResult, tally_stream
 from repro.workload.generators import (
     memoized_catalog,
     random_catalog,
@@ -33,32 +36,16 @@ from repro.workload.generators import (
 )
 from repro.workload.spec import WorkloadSpec
 
-
-@dataclass
-class WorkloadResult:
-    """What the client population experienced in one run."""
-
-    protocol: str
-    submitted: int
-    committed: int
-    client_aborted: int
-    protocol_aborted: int
-    blocked: int
-    serializable: bool
-    readable_fraction: float
-    txn_outcomes: dict[str, str] = field(default_factory=dict)
-    #: read-only transactions that committed on the client-side fast
-    #: path (only nonzero for specs with a read fraction).
-    reads_committed: int = 0
-
-    def format_row(self) -> str:
-        """One aligned summary line for study tables."""
-        return (
-            f"{self.protocol:<6} submitted={self.submitted:<3} "
-            f"committed={self.committed:<3} client-aborted={self.client_aborted:<3} "
-            f"protocol-aborted={self.protocol_aborted:<3} blocked={self.blocked:<3} "
-            f"1SR={self.serializable} readable={self.readable_fraction:.0%}"
-        )
+__all__ = [
+    "WorkloadResult",
+    "drive_stream",
+    "heavy_failure_plan",
+    "heavy_traffic_study",
+    "run_heavy_workload",
+    "run_workload",
+    "tally_stream",
+    "workload_study",
+]
 
 
 def run_workload(
@@ -75,6 +62,12 @@ def run_workload(
     network splits into two random components during
     ``partition_window`` and heals afterwards; transactions arriving
     mid-episode run against whatever their origin's component offers.
+
+    The stream is a fixed-spacing :class:`WorkloadSpec` driven through
+    the shared :class:`~repro.traffic.TrafficEngine` — fixed arrivals
+    draw no RNG and the default spec shape replays the historical
+    item/origin draw order, so the tallies are byte-identical to the
+    pre-engine inline loop.
     """
     registry = RngRegistry(seed)
     rng = registry.stream("workload")
@@ -92,57 +85,10 @@ def run_workload(
     )
     cluster.arm_failures(plan)
 
-    outcomes: dict[str, str] = {}
-    handles: dict[str, object] = {}
-
-    def submit_one(index: int) -> None:
-        item = rng.choice(catalog.item_names)
-        origin = rng.choice(catalog.sites_of(item))
-        if not cluster.sites[origin].alive:
-            return
-        txn = cluster.transaction(origin)
-        try:
-            value = txn.read(item)
-            txn.write(item, value + 1)
-            handle = txn.submit()
-        except TransactionAborted:
-            outcomes[txn.txn] = "client-aborted"
-            return
-        except QuorumUnreachableError:
-            txn.abort()
-            outcomes[txn.txn] = "client-aborted"
-            return
-        handles[handle.txn] = handle
-
-    for i in range(n_txns):
-        cluster.scheduler.call_at(1.0 + i * arrival_spacing, submit_one, i)
-    cluster.run()
-
-    committed = protocol_aborted = blocked = 0
-    for txn in handles:
-        report = cluster.outcome(txn)
-        outcome = report.outcome
-        if outcome == "commit":
-            committed += 1
-        elif outcome == "abort":
-            protocol_aborted += 1
-        else:
-            blocked += 1
-        outcomes[txn] = outcome
-    client_aborted = sum(1 for o in outcomes.values() if o == "client-aborted")
-
-    history = cluster.committed_history()
-    return WorkloadResult(
-        protocol=protocol,
-        submitted=len(outcomes),
-        committed=committed,
-        client_aborted=client_aborted,
-        protocol_aborted=protocol_aborted,
-        blocked=blocked,
-        serializable=ConflictGraph(history).is_serializable(),
-        readable_fraction=cluster.availability().readable_fraction,
-        txn_outcomes=outcomes,
-    )
+    spec = WorkloadSpec(n_txns=n_txns, arrival="fixed", mean_spacing=arrival_spacing)
+    engine = TrafficEngine(cluster, spec.compile(catalog), rng)
+    engine.run_closed()
+    return engine.tally(protocol)
 
 
 def _fold_workload(state, result):
@@ -265,11 +211,13 @@ def heavy_failure_plan(
 def drive_stream(cluster, compiled, rng) -> tuple[dict[str, str], dict[str, object]]:
     """The E18 driver loop: feed a compiled op stream into a cluster.
 
-    Schedules one client submission per arrival, runs the cluster to
-    quiescence, and returns ``(outcomes, handles)`` — the client-side
-    outcome per transaction (``"read-committed"`` / ``"client-aborted"``
-    so far; protocol verdicts are filled in by :func:`tally_stream`) and
-    the submitted handles awaiting a verdict.
+    Compatibility wrapper over
+    :meth:`~repro.traffic.TrafficEngine.run_closed` — the interactive
+    drive loop now lives on the shared engine.  Returns
+    ``(outcomes, handles)``: the client-side outcome per transaction
+    (``"read-committed"`` / ``"client-aborted"`` so far; protocol
+    verdicts are filled in by :func:`tally_stream`) and the submitted
+    handles awaiting a verdict.
 
     ``compiled`` is anything satisfying the
     :class:`~repro.workload.spec.CompiledWorkload` generator contract
@@ -278,82 +226,7 @@ def drive_stream(cluster, compiled, rng) -> tuple[dict[str, str], dict[str, obje
     stream.  This split of *stream source* from *driver loop* is what
     makes a recorded trace just another workload.
     """
-    outcomes: dict[str, str] = {}
-    handles: dict[str, object] = {}
-
-    def submit_one(index: int) -> None:
-        op = compiled.next_op(rng)
-        if op.origin not in cluster.sites or not cluster.sites[op.origin].alive:
-            return
-        txn = cluster.transaction(op.origin)
-        try:
-            if op.kind == "read":
-                for item in op.items:
-                    txn.read(item)
-                txn.submit()  # read-only: client-side commit
-                outcomes[txn.txn] = "read-committed"
-                return
-            for item in op.items:
-                value = txn.read(item)
-                txn.write(item, value + 1)
-            handle = txn.submit()
-        except TransactionAborted:
-            outcomes[txn.txn] = "client-aborted"
-            return
-        except QuorumUnreachableError:
-            txn.abort()
-            outcomes[txn.txn] = "client-aborted"
-            return
-        handles[handle.txn] = handle
-
-    for i, at in enumerate(compiled.arrivals(rng)):
-        cluster.scheduler.call_at(at, submit_one, i)
-    cluster.run()
-    return outcomes, handles
-
-
-def tally_stream(
-    protocol: str,
-    cluster: Cluster,
-    outcomes: dict[str, str],
-    handles: dict[str, object],
-    probe: "Callable[[Cluster], None] | None" = None,
-) -> WorkloadResult:
-    """Resolve submitted handles against protocol verdicts and tally.
-
-    ``probe`` runs after the verdict loop, just before the result is
-    assembled — the historical hook position, preserved so harvested
-    counters are byte-identical to the pre-split driver.
-    """
-    committed = protocol_aborted = blocked = 0
-    for txn in handles:
-        report = cluster.outcome(txn)
-        outcome = report.outcome
-        if outcome == "commit":
-            committed += 1
-        elif outcome == "abort":
-            protocol_aborted += 1
-        else:
-            blocked += 1
-        outcomes[txn] = outcome
-    client_aborted = sum(1 for o in outcomes.values() if o == "client-aborted")
-    reads_committed = sum(1 for o in outcomes.values() if o == "read-committed")
-
-    if probe is not None:
-        probe(cluster)
-    history = cluster.committed_history()
-    return WorkloadResult(
-        protocol=protocol,
-        submitted=len(outcomes),
-        committed=committed,
-        client_aborted=client_aborted,
-        protocol_aborted=protocol_aborted,
-        blocked=blocked,
-        serializable=ConflictGraph(history).is_serializable(),
-        readable_fraction=cluster.availability().readable_fraction,
-        txn_outcomes=outcomes,
-        reads_committed=reads_committed,
-    )
+    return TrafficEngine(cluster, compiled, rng).run_closed()
 
 
 def run_heavy_workload(
@@ -422,8 +295,9 @@ def run_heavy_workload(
         failures = heavy_failure_plan(rng, cluster.network.sites, episodes, episode_length, gap)
     cluster.arm_failures(failures)
 
-    outcomes, handles = drive_stream(cluster, compiled, rng)
-    return tally_stream(protocol, cluster, outcomes, handles, probe=probe)
+    engine = TrafficEngine(cluster, compiled, rng)
+    engine.run_closed()
+    return engine.tally(protocol, probe=probe)
 
 
 def heavy_traffic_study(

@@ -24,6 +24,7 @@ from repro.replay.recorder import (
     RecordingSpec,
     cluster_counters,
     record_heavy_workload,
+    record_open_loop_service,
     record_wan_storm,
 )
 from repro.replay.tournament import (
@@ -62,6 +63,7 @@ __all__ = [
     "fixed_point_ok",
     "format_diff_table",
     "record_heavy_workload",
+    "record_open_loop_service",
     "record_wan_storm",
     "replay_trace",
     "run_tournament",

@@ -2,8 +2,9 @@
 
 Subcommands:
 
-* ``record`` — run a driver (E18 heavy traffic or E21 WAN storm) and
-  write its full trace to a compressed, byte-stable artifact.
+* ``record`` — run a driver (E18 heavy traffic, E21 WAN storm, or the
+  E26 open-loop service) and write its full trace to a compressed,
+  byte-stable artifact.
 * ``replay`` — replay a trace artifact, optionally under an alternative
   configuration; without overrides the replay is fixed-point checked
   against the recorded counters.
@@ -19,7 +20,11 @@ import sys
 
 from repro.db.cluster import PROTOCOL_NAMES
 from repro.replay.artifact import RecordedTrace
-from repro.replay.recorder import record_heavy_workload, record_wan_storm
+from repro.replay.recorder import (
+    record_heavy_workload,
+    record_open_loop_service,
+    record_wan_storm,
+)
 from repro.replay.tournament import (
     DEFAULT_CONFIGS,
     QUORUM_POLICIES,
@@ -70,7 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
     record = sub.add_parser("record", help="run a driver and write its trace")
     record.add_argument(
         "--driver",
-        choices=["heavy_workload", "wan_storm"],
+        choices=["heavy_workload", "wan_storm", "open_loop"],
         default="heavy_workload",
         help="which driver to record (default: heavy_workload)",
     )
@@ -120,6 +125,8 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_record(args: argparse.Namespace) -> int:
     if args.driver == "wan_storm":
         trace = record_wan_storm(args.protocol, seed=args.seed)
+    elif args.driver == "open_loop":
+        trace = record_open_loop_service(args.protocol, seed=args.seed)
     else:
         trace = record_heavy_workload(args.protocol, seed=args.seed, n_txns=args.n_txns)
     trace.save(args.out)

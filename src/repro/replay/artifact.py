@@ -47,7 +47,7 @@ TRACE_SCHEMA = 1
 TRACE_KIND = "repro-replay-trace"
 
 #: drivers a trace can be recorded from (and replayed through).
-TRACE_DRIVERS = ("heavy_workload", "wan_storm")
+TRACE_DRIVERS = ("heavy_workload", "wan_storm", "open_loop")
 
 
 # ----------------------------------------------------------------------
@@ -170,9 +170,13 @@ class RecordedTrace:
         catalog: the replica catalog the run compiled against.
         params: driver shape kwargs needed to rebuild the site universe
             (e.g. ``n_regions``/``sites_per_region`` for WAN storms).
-        arrivals: virtual arrival time per scheduled submission.
+        arrivals: virtual arrival time per scheduled submission
+            (closed-loop drivers; empty for open-loop services).
+        gaps: inter-arrival gaps drawn by an open-loop service, one per
+            offered arrival (empty for closed-loop drivers).
         ops: the generated :class:`~repro.workload.spec.WorkloadOp`
-            stream, aligned 1:1 with ``arrivals``.
+            stream, aligned 1:1 with ``arrivals`` (closed) or ``gaps``
+            (open).
         updates: direct-update draws ``(origin, writes)`` (the WAN
             storm's single transaction).
         actions: the fault schedule, in the order it actually fired.
@@ -188,6 +192,7 @@ class RecordedTrace:
     catalog: ReplicaCatalog
     params: dict[str, Any] = field(default_factory=dict)
     arrivals: list[float] = field(default_factory=list)
+    gaps: list[float] = field(default_factory=list)
     ops: list[WorkloadOp] = field(default_factory=list)
     updates: list[tuple[int, dict[str, Any]]] = field(default_factory=list)
     actions: list[FailureAction] = field(default_factory=list)
@@ -212,6 +217,25 @@ class RecordedTrace:
     def to_lines(self) -> list[dict[str, Any]]:
         """The artifact's JSONL records, in canonical order."""
         spec = self.spec
+        # hand-enumerated (not dataclass-reflected) so new spec fields
+        # never change the bytes of artifacts that do not use them; the
+        # open-loop keys are conditional for the same reason.
+        spec_record = {
+            "n_txns": spec.n_txns,
+            "popularity": spec.popularity,
+            "zipf_s": spec.zipf_s,
+            "read_fraction": spec.read_fraction,
+            "footprint": list(spec.footprint),
+            "arrival": spec.arrival,
+            "mean_spacing": spec.mean_spacing,
+            "start": spec.start,
+            "cross_region": spec.cross_region,
+            "value_pool": spec.value_pool,
+            "sampler": spec.sampler,
+        }
+        if spec.arrival == "open":
+            spec_record["rate"] = spec.rate
+            spec_record["duration"] = spec.duration
         lines: list[dict[str, Any]] = [
             {
                 "type": "header",
@@ -221,23 +245,13 @@ class RecordedTrace:
                 "protocol": self.protocol,
                 "seed": self.seed,
                 "params": dict(self.params),
-                "spec": {
-                    "n_txns": spec.n_txns,
-                    "popularity": spec.popularity,
-                    "zipf_s": spec.zipf_s,
-                    "read_fraction": spec.read_fraction,
-                    "footprint": list(spec.footprint),
-                    "arrival": spec.arrival,
-                    "mean_spacing": spec.mean_spacing,
-                    "start": spec.start,
-                    "cross_region": spec.cross_region,
-                    "value_pool": spec.value_pool,
-                    "sampler": spec.sampler,
-                },
+                "spec": spec_record,
             },
             {"type": "catalog", **encode_catalog(self.catalog)},
             {"type": "arrivals", "times": list(self.arrivals)},
         ]
+        if self.gaps:
+            lines.append({"type": "gaps", "values": list(self.gaps)})
         for op in self.ops:
             lines.append(
                 {"type": "op", "kind": op.kind, "items": list(op.items), "origin": op.origin}
@@ -295,6 +309,8 @@ class RecordedTrace:
                     saw_catalog = True
                 elif kind == "arrivals":
                     trace.arrivals = [float(t) for t in line["times"]]
+                elif kind == "gaps":
+                    trace.gaps = [float(g) for g in line["values"]]
                 elif kind == "op":
                     trace.ops.append(
                         WorkloadOp(line["kind"], tuple(line["items"]), line["origin"])

@@ -53,6 +53,7 @@ class RecordingSpec:
         self.arrivals: list[float] = []
         self.ops: list = []
         self.updates: list[tuple[int, dict[str, Any]]] = []
+        self.gaps: list[float] = []
 
     def compile(self, catalog, regions=None) -> "_RecordingWorkload":
         """Bind like a spec would, capturing the binding as a side effect."""
@@ -84,6 +85,11 @@ class _RecordingWorkload:
         origin, writes = self._inner.next_update(rng)
         self._log.updates.append((origin, dict(writes)))
         return origin, writes
+
+    def next_gap(self, rng):
+        gap = self._inner.next_gap(rng)
+        self._log.gaps.append(gap)
+        return gap
 
 
 def record_heavy_workload(
@@ -145,6 +151,72 @@ def record_heavy_workload(
         actions=harvested["actions"],
         counters=harvested["counters"],
         result=jsonable(result),
+    )
+
+
+def record_open_loop_service(
+    protocol: str,
+    seed: int = 0,
+    rate: float = 1.5,
+    duration: float = 120.0,
+    n_sites: int = 9,
+    n_items: int = 6,
+    replication: int = 3,
+    window: int = 4,
+    workload: WorkloadSpec | None = None,
+) -> RecordedTrace:
+    """Run one E26 open-loop service interval and harvest the trace.
+
+    The open-loop stream records *gaps* instead of arrival times — one
+    exponential inter-arrival draw per offered arrival — alongside the
+    op stream; shed arrivals consume draws too, so the recorded stream
+    replays bit-for-bit regardless of admission outcomes.  The
+    admission ``window`` rides in ``params`` because it shapes the run
+    but is not part of the workload spec.
+    """
+    from repro.experiments.service_study import run_open_loop_service
+
+    spec = workload if workload is not None else WorkloadSpec(
+        arrival="open", rate=rate, duration=duration
+    )
+    recording = RecordingSpec(spec)
+    harvested: dict[str, Any] = {}
+
+    def probe(cluster) -> None:
+        harvested["actions"] = list(cluster.injector.applied)
+        harvested["counters"] = cluster_counters(cluster)
+
+    result = run_open_loop_service(
+        protocol,
+        seed=seed,
+        rate=rate,
+        duration=duration,
+        n_sites=n_sites,
+        n_items=n_items,
+        replication=replication,
+        window=window,
+        workload=recording,
+        probe=probe,
+    )
+    return RecordedTrace(
+        driver="open_loop",
+        protocol=protocol,
+        seed=seed,
+        spec=spec,
+        catalog=recording.catalog,
+        params={
+            "n_sites": n_sites,
+            "n_items": n_items,
+            "replication": replication,
+            "window": window,
+        },
+        arrivals=recording.arrivals,
+        gaps=recording.gaps,
+        ops=recording.ops,
+        updates=recording.updates,
+        actions=harvested["actions"],
+        counters=harvested["counters"],
+        result=jsonable(result.counters()),
     )
 
 

@@ -237,6 +237,8 @@ def replay_trace(
 
     if trace.driver == "wan_storm":
         return _replay_wan(trace, cfg, protocol, catalog, plan)
+    if trace.driver == "open_loop":
+        return _replay_open(trace, cfg, protocol, catalog, plan)
     return _replay_heavy(trace, cfg, protocol, catalog, plan)
 
 
@@ -278,6 +280,45 @@ def _replay_heavy(trace, cfg, protocol, catalog, plan) -> dict[str, Any]:
         "skipped_ops": workload.skipped_ops,
         "serializable": result.serializable,
         "mean_commit_latency": _mean_commit_latency(cluster, committed),
+        **cluster_counters(cluster),
+    }
+
+
+def _replay_open(trace, cfg, protocol, catalog, plan) -> dict[str, Any]:
+    from repro.experiments.service_study import run_open_loop_service
+    from repro.replay.recorder import cluster_counters
+
+    workload = trace.workload().project(catalog)
+    harvested: dict[str, Any] = {}
+    result = run_open_loop_service(
+        protocol,
+        seed=trace.seed,
+        window=trace.params.get("window", 4),
+        workload=workload,
+        catalog=catalog,
+        failures=plan,
+        probe=lambda cluster: harvested.update(cluster=cluster),
+    )
+    cluster = harvested["cluster"]
+    return {
+        "config": cfg.name,
+        "protocol": protocol,
+        "submitted": result.admitted,
+        "committed": result.committed,
+        "client_aborted": result.client_aborted,
+        "protocol_aborted": result.protocol_aborted,
+        "blocked": result.unresolved,
+        "reads_committed": result.reads_committed,
+        "skipped_ops": workload.skipped_ops,
+        "serializable": result.serializable,
+        # the open-loop drive measures its own latency stream; reuse
+        # the digest's p50 as the comparable latency column
+        "mean_commit_latency": result.latency.get("p50", 0.0),
+        "offered": result.offered,
+        "shed_backpressure": result.shed_backpressure,
+        "shed_unreachable": result.shed_unreachable,
+        "latency_p99": result.latency.get("p99", 0.0),
+        "latency_p999": result.latency.get("p999", 0.0),
         **cluster_counters(cluster),
     }
 

@@ -1,9 +1,10 @@
 """A recorded op stream as a workload source.
 
 :class:`RecordedWorkload` satisfies the generator-callable surface of
-:class:`~repro.workload.spec.CompiledWorkload` that the E18/E21
-drivers consume — ``arrivals``, ``next_op``, ``next_update``, plus the
-``spec`` / ``catalog`` attributes — but every "draw" replays the next
+:class:`~repro.workload.spec.CompiledWorkload` that the E18/E21/E26
+drivers consume — ``arrivals``, ``next_op``, ``next_update``,
+``next_gap``, plus the ``spec`` / ``catalog`` attributes — but every
+"draw" replays the next
 recorded value verbatim and leaves the passed-in RNG untouched.  A
 harvested trace is thereby just another workload: the drivers cannot
 tell recording from generation, which is exactly what makes the
@@ -39,14 +40,17 @@ class RecordedWorkload:
         arrivals: Iterable[float],
         ops: Iterable[WorkloadOp],
         updates: Iterable[tuple[int, dict[str, Any]]],
+        gaps: Iterable[float] = (),
     ) -> None:
         self.spec = spec
         self.catalog = catalog
         self._arrivals = list(arrivals)
         self._ops = list(ops)
         self._updates = list(updates)
+        self._gaps = list(gaps)
         self._op_cursor = 0
         self._update_cursor = 0
+        self._gap_cursor = 0
         #: ops/updates dropped by :meth:`project` because the target
         #: catalog no longer hosts them (smaller-cluster what-ifs).
         self.skipped_ops = 0
@@ -54,7 +58,14 @@ class RecordedWorkload:
     @classmethod
     def from_trace(cls, trace: "RecordedTrace") -> "RecordedWorkload":
         """A fresh stream over one recorded trace."""
-        return cls(trace.spec, trace.catalog, trace.arrivals, trace.ops, trace.updates)
+        return cls(
+            trace.spec,
+            trace.catalog,
+            trace.arrivals,
+            trace.ops,
+            trace.updates,
+            trace.gaps,
+        )
 
     def __len__(self) -> int:
         return len(self._ops) + len(self._updates)
@@ -93,6 +104,22 @@ class RecordedWorkload:
         self._update_cursor += 1
         return origin, dict(writes)
 
+    def next_gap(self, rng: random.Random) -> float:
+        """The next recorded open-loop gap (``rng`` untouched).
+
+        Exhaustion returns ``inf`` rather than raising: a replay under
+        an *alternative* configuration can offer more arrivals than the
+        recorded service did (shed ops still consume draws, but a
+        healthier cluster drains faster and the deadline gate may admit
+        one more arrival); an infinite gap simply ends the stream the
+        way the recorded deadline did.
+        """
+        if self._gap_cursor >= len(self._gaps):
+            return float("inf")
+        gap = self._gaps[self._gap_cursor]
+        self._gap_cursor += 1
+        return gap
+
     # ------------------------------------------------------------------
     # what-if projection
     # ------------------------------------------------------------------
@@ -119,14 +146,27 @@ class RecordedWorkload:
         hosted_items = set(catalog.item_names)
         hosted_sites = set(catalog.all_sites()) if sites is None else set(sites)
         arrivals: list[float] = []
+        gaps: list[float] = []
         ops: list[WorkloadOp] = []
         skipped = 0
-        for at, op in zip(self._arrivals, self._ops):
+        # an open-loop stream has gaps where a closed one has arrival
+        # times; either slot is dropped together with its op to keep
+        # the 1:1 alignment the drivers rely on.  Arrival times are
+        # absolute, so dropping one leaves the rest in place; gaps are
+        # relative, so a dropped op's gap folds into the previous
+        # surviving gap to keep later arrivals at their recorded times
+        # (a dropped *first* op inevitably shifts the stream earlier).
+        open_stream = not self._arrivals and bool(self._gaps)
+        slots = self._gaps if open_stream else self._arrivals
+        slot_sink = gaps if open_stream else arrivals
+        for slot, op in zip(slots, self._ops):
             if op.origin in hosted_sites and all(i in hosted_items for i in op.items):
-                arrivals.append(at)
+                slot_sink.append(slot)
                 ops.append(op)
             else:
                 skipped += 1
+                if open_stream and slot_sink:
+                    slot_sink[-1] += slot
         updates: list[tuple[int, dict[str, Any]]] = []
         for origin, writes in self._updates:
             kept = {item: value for item, value in writes.items() if item in hosted_items}
@@ -134,7 +174,7 @@ class RecordedWorkload:
                 updates.append((origin, kept))
             else:
                 skipped += 1
-        projected = RecordedWorkload(self.spec, catalog, arrivals, ops, updates)
+        projected = RecordedWorkload(self.spec, catalog, arrivals, ops, updates, gaps)
         projected.skipped_ops = skipped
         return projected
 

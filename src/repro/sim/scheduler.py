@@ -174,6 +174,23 @@ class Scheduler:
             raise ValueError(f"negative delay {delay}")
         self.call_fixed(self._now + delay, fn, *args)
 
+    def call_fixed_until(
+        self, time: float, deadline: float, fn: Callable[..., None], *args: Any
+    ) -> bool:
+        """Deadline-gated :meth:`call_fixed`: schedule only before ``deadline``.
+
+        Returns True if the event was scheduled, False if ``time`` is at
+        or past ``deadline`` (nothing is scheduled, no handle exists).
+        This is the open-loop traffic engine's admission hook: a
+        self-re-arming arrival chain calls this with its stream's end
+        time and simply stops being scheduled when the service window
+        closes — no sentinel events, no cancellation sweep.
+        """
+        if time >= deadline:
+            return False
+        self.call_fixed(time, fn, *args)
+        return True
+
     def step(self) -> bool:
         """Run the single next pending event.
 

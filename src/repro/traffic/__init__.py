@@ -1,0 +1,33 @@
+"""Unified traffic layer: closed- and open-loop drive loops.
+
+See :mod:`repro.traffic.engine` for the :class:`TrafficEngine`
+lifecycle (the extraction of every E-series drive loop) and
+:mod:`repro.traffic.open_loop` for the sustained-arrival-rate service
+mode with admission control, tail-latency digests, and throughput
+ceiling discovery; ``README.md`` in this package documents the
+semantics and comparability rules.
+"""
+
+from repro.traffic.engine import TrafficEngine, WorkloadResult, tally_stream
+from repro.traffic.open_loop import (
+    DEFAULT_BINS,
+    DEFAULT_WINDOW,
+    OpenLoopResult,
+    RampResult,
+    latency_summary,
+    ramp,
+    run_open_loop,
+)
+
+__all__ = [
+    "DEFAULT_BINS",
+    "DEFAULT_WINDOW",
+    "OpenLoopResult",
+    "RampResult",
+    "TrafficEngine",
+    "WorkloadResult",
+    "latency_summary",
+    "ramp",
+    "run_open_loop",
+    "tally_stream",
+]

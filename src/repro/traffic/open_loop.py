@@ -1,0 +1,318 @@
+"""Open-loop service mode: sustained arrival rates, admission, SLOs.
+
+The closed-loop drivers ask "what happened to these N transactions";
+a service asks "what does a client population experience at λ requests
+per second, sustained".  :func:`run_open_loop` drives a cluster that
+way on the virtual clock:
+
+* **duration-bounded arrivals** — a self-scheduling chain of arrival
+  events; each draws the next exponential gap
+  (:meth:`~repro.workload.spec.CompiledWorkload.next_gap`) and
+  re-arms itself via the scheduler's deadline hook
+  (:meth:`~repro.sim.scheduler.Scheduler.call_fixed_until`), so the
+  stream stops at ``start + duration`` rather than at an op count.
+* **per-site admission control** — each origin site carries a bounded
+  in-flight window; an arrival whose origin is saturated is *shed*
+  (``shed_backpressure``) and one whose origin is down or unknown is
+  refused (``shed_unreachable``).  Shed ops still consume their
+  generator draws, so the offered stream is a pure function of the
+  seed regardless of admission outcomes.
+* **streaming latency percentiles** — commit/abort latency (first
+  protocol decision minus submit time) folds into a fixed-size
+  :class:`~repro.engine.aggregate.QuantileDigest`; no per-op lists,
+  so memory is constant in the offered load and the p50/p99/p999
+  estimates are a pure function of the folded multiset.  Read-only
+  fast-path commits and client-side aborts complete synchronously on
+  the virtual clock (zero latency) and are tallied, not folded.
+* **throughput-ceiling discovery** — :func:`ramp` steps the arrival
+  rate across a schedule until the p99 knee or the abort-rate
+  threshold trips, and reports the last sustainable rate.
+
+Everything runs on the deterministic virtual clock with draws from the
+caller's RNG, so open-loop results are byte-identical across repeated
+runs and across sweep worker counts — the same fixed-point contract
+the closed-loop baselines pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.engine.aggregate import QuantileDigest
+from repro.traffic.engine import TrafficEngine, tally_stream
+
+#: default per-site in-flight window (admission control).
+DEFAULT_WINDOW = 4
+
+#: default latency digest layout: [0, hi) split into this many bins.
+DEFAULT_BINS = 64
+
+
+@dataclass
+class OpenLoopResult:
+    """One open-loop service run, summarized.
+
+    ``offered = admitted + shed_backpressure + shed_unreachable`` always
+    holds; ``admitted`` splits into protocol-bound updates (eventually
+    ``committed`` / ``protocol_aborted`` / ``unresolved``), client-side
+    ``client_aborted``, and fast-path ``reads_committed``.
+    """
+
+    protocol: str
+    rate: float
+    duration: float
+    offered: int
+    admitted: int
+    shed_backpressure: int
+    shed_unreachable: int
+    committed: int
+    reads_committed: int
+    client_aborted: int
+    protocol_aborted: int
+    unresolved: int
+    serializable: bool
+    readable_fraction: float
+    #: streaming latency summary: n / min / max / p50 / p99 / p999.
+    latency: dict[str, float] = field(default_factory=dict)
+    #: the full digest state (exact bin counts), mergeable across runs
+    #: via :meth:`~repro.engine.aggregate.QuantileDigest.absorb`.
+    digest_state: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def sustained_throughput(self) -> float:
+        """Committed transactions per virtual second."""
+        return self.committed / self.duration if self.duration else 0.0
+
+    @property
+    def abort_rate(self) -> float:
+        """Aborts (client + protocol) per admitted operation."""
+        aborted = self.client_aborted + self.protocol_aborted
+        return aborted / self.admitted if self.admitted else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        """Shed arrivals (both kinds) per offered arrival."""
+        shed = self.shed_backpressure + self.shed_unreachable
+        return shed / self.offered if self.offered else 0.0
+
+    def counters(self) -> dict[str, Any]:
+        """Flat deterministic tallies (the bench-baseline fingerprint)."""
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "shed_backpressure": self.shed_backpressure,
+            "shed_unreachable": self.shed_unreachable,
+            "committed": self.committed,
+            "reads_committed": self.reads_committed,
+            "client_aborted": self.client_aborted,
+            "protocol_aborted": self.protocol_aborted,
+            "unresolved": self.unresolved,
+            "serializable": self.serializable,
+            "latency_n": self.latency.get("n", 0),
+            "latency_p50": self.latency.get("p50", 0.0),
+            "latency_p99": self.latency.get("p99", 0.0),
+            "latency_p999": self.latency.get("p999", 0.0),
+        }
+
+    def format_row(self) -> str:
+        """One aligned summary line for service tables."""
+        return (
+            f"{self.protocol:<6} rate={self.rate:<6g} offered={self.offered:<4} "
+            f"shed={self.shed_backpressure:<3} committed={self.committed:<4} "
+            f"aborted={self.client_aborted + self.protocol_aborted:<3} "
+            f"p99={self.latency.get('p99', 0.0):6.2f} "
+            f"p999={self.latency.get('p999', 0.0):6.2f} "
+            f"thru={self.sustained_throughput:.3f}/s"
+        )
+
+
+def latency_summary(digest: QuantileDigest) -> dict[str, float]:
+    """The digest's tail-latency summary, p999 included.
+
+    Kept separate from :meth:`QuantileDigest.summary` (which commits
+    p50/p90/p99 inside existing sweep baselines) so widening the SLO
+    surface never shifts committed bytes.
+    """
+    return {
+        "n": digest.n,
+        "min": digest.min if digest.min is not None else 0.0,
+        "max": digest.max if digest.max is not None else 0.0,
+        "p50": digest.quantile(0.50),
+        "p99": digest.quantile(0.99),
+        "p999": digest.quantile(0.999),
+    }
+
+
+def run_open_loop(
+    engine: TrafficEngine,
+    protocol: str,
+    *,
+    window: int = DEFAULT_WINDOW,
+    latency_hi: float = 60.0,
+    bins: int = DEFAULT_BINS,
+    probe: Callable[[Any], None] | None = None,
+) -> OpenLoopResult:
+    """Drive the engine's stream as an open-loop service.
+
+    The compiled workload must be an open-arrival spec (or a recorded
+    open-loop stream): ``spec.rate`` / ``spec.duration`` bound the
+    arrival chain, ``next_op`` / ``next_gap`` feed it.  The cluster's
+    failure plan, if any, must already be armed.
+
+    Args:
+        engine: the traffic engine (cluster + compiled stream + rng).
+        protocol: protocol name for the result row.
+        window: per-site in-flight admission window (>= 1).
+        latency_hi: latency digest upper bound (virtual seconds).
+        bins: latency digest bin count.
+        probe: sees the finished cluster before the result is
+            assembled (the benchmark harness harvests counters here).
+    """
+    if window < 1:
+        raise ValueError(f"admission window must be >= 1, got {window}")
+    spec = engine.compiled.spec
+    rate = float(spec.rate)
+    duration = float(spec.duration)
+    cluster = engine.cluster
+    scheduler = cluster.scheduler
+    rng = engine.rng
+    deadline = spec.start + duration
+
+    digest = QuantileDigest(0.0, latency_hi, bins)
+    #: origin -> {txn: submit_time}; dicts, not sets, so retirement
+    #: iterates in insertion order (hash order would leak into the
+    #: digest's min/max fold and break run-to-run determinism).
+    in_flight: dict[int, dict[str, float]] = {}
+    counters = {"offered": 0, "admitted": 0, "shed_backpressure": 0, "shed_unreachable": 0}
+
+    tracer = cluster.tracer
+
+    def retire_decided() -> None:
+        """Fold the latency of every in-flight txn that has decided."""
+        for origin, pending in in_flight.items():
+            done = [
+                (txn, records)
+                for txn, records in (
+                    (txn, tracer.where(category="decision", txn=txn))
+                    for txn in pending
+                )
+                if records
+            ]
+            for txn, records in done:
+                decided_at = min(record.time for record in records)
+                digest.add(decided_at - pending.pop(txn))
+
+    def arrive() -> None:
+        counters["offered"] += 1
+        retire_decided()
+        op = engine.compiled.next_op(rng)
+        pending = in_flight.setdefault(op.origin, {})
+        if op.origin not in cluster.sites or not cluster.sites[op.origin].alive:
+            counters["shed_unreachable"] += 1
+        elif len(pending) >= window:
+            counters["shed_backpressure"] += 1
+        else:
+            counters["admitted"] += 1
+            handle = engine._submit_op(op)
+            if handle is not None:
+                pending[handle.txn] = scheduler.now
+        gap = engine.compiled.next_gap(rng)
+        scheduler.call_fixed_until(scheduler.now + gap, deadline, arrive)
+
+    scheduler.call_fixed_until(spec.start, deadline, arrive)
+    cluster.run()
+    retire_decided()
+    unresolved = sum(len(pending) for pending in in_flight.values())
+
+    base = tally_stream(protocol, cluster, engine.outcomes, engine.handles, probe=probe)
+    return OpenLoopResult(
+        protocol=protocol,
+        rate=rate,
+        duration=duration,
+        offered=counters["offered"],
+        admitted=counters["admitted"],
+        shed_backpressure=counters["shed_backpressure"],
+        shed_unreachable=counters["shed_unreachable"],
+        committed=base.committed,
+        reads_committed=base.reads_committed,
+        client_aborted=base.client_aborted,
+        protocol_aborted=base.protocol_aborted,
+        unresolved=unresolved,
+        serializable=base.serializable,
+        readable_fraction=base.readable_fraction,
+        latency=latency_summary(digest),
+        digest_state=digest.state(),
+    )
+
+
+# ----------------------------------------------------------------------
+# throughput-ceiling discovery
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RampResult:
+    """The outcome of one :func:`ramp` discovery sweep.
+
+    ``ceiling`` is the last arrival rate that met the SLO (``None`` if
+    even the first step tripped); ``tripped`` names what ended the ramp
+    (``"latency_knee"`` / ``"abort_rate"``, or ``None`` when the rate
+    schedule was exhausted without tripping).
+    """
+
+    ceiling: float | None
+    tripped: str | None
+    steps: list[OpenLoopResult] = field(default_factory=list)
+
+    def counters(self) -> dict[str, Any]:
+        """Flat deterministic tallies (the bench-baseline fingerprint)."""
+        return {
+            "steps": len(self.steps),
+            "ceiling": self.ceiling if self.ceiling is not None else -1.0,
+            "tripped": self.tripped or "none",
+            "p99_by_step": [step.latency.get("p99", 0.0) for step in self.steps],
+            "committed_by_step": [step.committed for step in self.steps],
+            "shed_by_step": [step.shed_backpressure for step in self.steps],
+        }
+
+
+def ramp(
+    step_fn: Callable[[float], OpenLoopResult],
+    rates: Iterable[float] | Sequence[float],
+    *,
+    knee_factor: float = 4.0,
+    abort_threshold: float = 0.25,
+) -> RampResult:
+    """Step the arrival rate until the p99 knee or abort threshold trips.
+
+    ``step_fn(rate)`` runs one fresh open-loop service at ``rate`` (a
+    new cluster per step — steps are independent measurements, not one
+    long run).  The first step with a non-empty latency sample anchors
+    the baseline p99; a later step whose p99 exceeds ``knee_factor``
+    times that baseline trips ``"latency_knee"``, and a step whose
+    abort rate exceeds ``abort_threshold`` trips ``"abort_rate"``.
+    The ramp stops at the first trip; rates before it are sustainable.
+    """
+    steps: list[OpenLoopResult] = []
+    baseline_p99: float | None = None
+    ceiling: float | None = None
+    tripped: str | None = None
+    for rate in rates:
+        result = step_fn(rate)
+        steps.append(result)
+        p99 = result.latency.get("p99", 0.0)
+        if baseline_p99 is None and result.latency.get("n", 0):
+            baseline_p99 = p99
+        if (
+            baseline_p99 is not None
+            and baseline_p99 > 0.0
+            and p99 > knee_factor * baseline_p99
+        ):
+            tripped = "latency_knee"
+            break
+        if result.abort_rate > abort_threshold:
+            tripped = "abort_rate"
+            break
+        ceiling = rate
+    return RampResult(ceiling=ceiling, tripped=tripped, steps=steps)

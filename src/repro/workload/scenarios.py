@@ -30,6 +30,7 @@ from repro.db.txn import TxnHandle
 from repro.replication.catalog import CatalogBuilder, ReplicaCatalog
 from repro.sim.failures import FailurePlan
 from repro.sim.rng import RngRegistry
+from repro.traffic import TrafficEngine
 from repro.workload.generators import (
     memoized_catalog,
     region_storm_plan,
@@ -194,18 +195,18 @@ def run_wan_storm(
     cluster = Cluster(catalog, protocol=protocol, seed=seed, extra_sites=all_sites)
     spec = workload if workload is not None else WorkloadSpec(n_txns=1, footprint=(1, 3))
     compiled = spec.compile(catalog, regions) if hasattr(spec, "compile") else spec
-    origin, writes = compiled.next_update(rng)
-    txn = cluster.update(origin, writes)
+    engine = TrafficEngine(cluster, compiled, rng)
+    txn = engine.submit_now()
     if failures is None:
         plan = region_storm_plan(rng, regions, waves=waves, heal=heal)
-        plan.crash(rng.uniform(1.0, 2.5), origin)
+        plan.crash(rng.uniform(1.0, 2.5), txn.origin)
         if heal:
             last = max(a.time for a in plan.actions)
-            plan.recover(last + 5.0, origin)
+            plan.recover(last + 5.0, txn.origin)
     else:
         plan = failures
     cluster.arm_failures(plan)
-    cluster.run()
+    engine.run_to_quiescence()
     if probe is not None:
         probe(cluster)
     return ScenarioResult(cluster, txn, cluster.outcome(txn.txn))

@@ -65,8 +65,11 @@ from repro.workload.generators import arrival_times
 #: item-popularity distributions a spec may choose from.
 POPULARITY_MODES = ("uniform", "zipf")
 
-#: arrival processes a spec may choose from.
-ARRIVAL_MODES = ("poisson", "fixed")
+#: arrival processes a spec may choose from.  ``"poisson"`` and
+#: ``"fixed"`` are closed-loop (op-count-bounded, arrival times drawn
+#: up front); ``"open"`` is the open-loop service mode (duration-
+#: bounded, gaps drawn one at a time via ``next_gap``).
+ARRIVAL_MODES = ("poisson", "fixed", "open")
 
 #: weighted-pick samplers a spec may choose from.
 SAMPLER_MODES = ("scan", "alias")
@@ -136,10 +139,17 @@ class WorkloadSpec:
         footprint: ``(lo, hi)`` items per update transaction.  ``(1, 1)``
             uses the single-``choice`` stream; a ranged footprint draws
             ``randint`` + ``sample`` (the ``random_update`` stream).
-        arrival: ``"poisson"`` (open stream, exponential spacing) or
-            ``"fixed"`` (closed, evenly spaced).
+        arrival: ``"poisson"`` (closed stream, exponential spacing,
+            ``n_txns`` arrivals), ``"fixed"`` (closed, evenly spaced),
+            or ``"open"`` (open-loop service: ``rate`` arrivals per
+            virtual second sustained for ``duration`` seconds;
+            ``n_txns`` is ignored — the stream is duration-bounded).
         mean_spacing: mean (poisson) or exact (fixed) inter-arrival gap.
         start: virtual time of the first arrival.
+        rate: open-loop arrival rate (arrivals per virtual second);
+            required iff ``arrival="open"``.
+        duration: open-loop stream length in virtual seconds; required
+            iff ``arrival="open"``.
         cross_region: probability an operation originates in a region
             hosting *no copy* of its first item — cross-region quorum
             traffic.  Requires ``regions`` at compile time; 0 disables
@@ -163,6 +173,8 @@ class WorkloadSpec:
     cross_region: float = 0.0
     value_pool: int = 1000
     sampler: str = "scan"
+    rate: float | None = None
+    duration: float | None = None
 
     def __post_init__(self) -> None:
         if self.n_txns < 1:
@@ -200,6 +212,20 @@ class WorkloadSpec:
             raise ConfigurationError(
                 f"sampler must be one of {SAMPLER_MODES}, got {self.sampler!r}"
             )
+        if self.arrival == "open":
+            if self.rate is None or self.rate <= 0:
+                raise ConfigurationError(
+                    f"open arrivals need a positive rate, got {self.rate}"
+                )
+            if self.duration is None or self.duration <= 0:
+                raise ConfigurationError(
+                    f"open arrivals need a positive duration, got {self.duration}"
+                )
+        elif self.rate is not None or self.duration is not None:
+            raise ConfigurationError(
+                "rate/duration only apply to arrival='open', "
+                f"got arrival={self.arrival!r}"
+            )
 
     def compile(
         self,
@@ -223,7 +249,10 @@ class WorkloadSpec:
         if self.read_fraction:
             parts.append(f"reads={self.read_fraction:.0%}")
         parts.append(f"footprint={self.footprint[0]}-{self.footprint[1]}")
-        parts.append(f"{self.arrival}@{self.mean_spacing:g}")
+        if self.arrival == "open":
+            parts.append(f"open@{self.rate:g}/s x{self.duration:g}s")
+        else:
+            parts.append(f"{self.arrival}@{self.mean_spacing:g}")
         if self.cross_region:
             parts.append(f"cross-region={self.cross_region:.0%}")
         return " ".join(parts)
@@ -280,13 +309,38 @@ class CompiledWorkload:
     # ------------------------------------------------------------------
 
     def arrivals(self, rng: random.Random) -> list[float]:
-        """The stream's arrival times (poisson draws; fixed draws none)."""
+        """The stream's arrival times (poisson draws; fixed draws none).
+
+        Open-arrival specs have no precomputable arrival list — the
+        stream is duration-bounded and gaps are drawn one at a time via
+        :meth:`next_gap` — so a closed-loop driver handed an open spec
+        fails loudly here instead of silently truncating the service.
+        """
         spec = self.spec
+        if spec.arrival == "open":
+            raise ConfigurationError(
+                "open-arrival workloads are duration-bounded: drive them "
+                "through the open-loop engine (next_gap), not arrivals()"
+            )
         if spec.arrival == "poisson":
             return arrival_times(
                 rng, spec.n_txns, mean_spacing=spec.mean_spacing, start=spec.start
             )
         return [spec.start + i * spec.mean_spacing for i in range(spec.n_txns)]
+
+    def next_gap(self, rng: random.Random) -> float:
+        """The next open-loop inter-arrival gap (one ``expovariate``).
+
+        Only meaningful for ``arrival="open"`` specs: the open-loop
+        engine draws one gap per arrival event, so the offered stream
+        is rate-driven and duration-bounded rather than op-counted.
+        """
+        spec = self.spec
+        if spec.arrival != "open":
+            raise ConfigurationError(
+                f"next_gap needs arrival='open', got {spec.arrival!r}"
+            )
+        return rng.expovariate(spec.rate)
 
     # ------------------------------------------------------------------
     # item / origin selection

@@ -14,6 +14,7 @@ from hypothesis import given, settings, strategies as st
 from repro.bench import compare_case, default_suite, deterministic_payload, encode
 from repro.bench.cases import (
     catalog_memo_trial,
+    lock_probe_trial,
     net_fanout_flyweight_trial,
     net_fanout_trial,
     partition_churn_trial,
@@ -30,6 +31,7 @@ from repro.bench.cases import (
 QUICK_CASES = [
     "scheduler_drain",
     "commit_mix",
+    "heavy_workload",
     "net_deliver_fanout",
     "wal_append",
     "trace_record",
@@ -39,6 +41,9 @@ QUICK_CASES = [
     "read_mostly",
     "cross_region_txn",
     "elastic_join",
+    "open_loop_service",
+    "ramp_ceiling",
+    "lock_probe",
     "net_fanout_flyweight",
     "zipf_sampling",
     "recovery_replay",
@@ -171,6 +176,15 @@ class TestABCountersAgree:
         assert plain["counters"] == resilient["counters"]
         assert resilient["counters"]["retried"] == 0
         assert resilient["counters"]["quarantined"] == 0
+
+    @given(st.integers(0, 2**20))
+    @settings(max_examples=10, deadline=None)
+    def test_lock_probe_counters_identical_across_modes(self, seed):
+        # the exclusive-holder counter must reproduce every grant
+        # decision of the legacy allocating compatibility scan
+        legacy = lock_probe_trial(seed, tracked=False, n_readers=20, probes=200)
+        tracked = lock_probe_trial(seed, tracked=True, n_readers=20, probes=200)
+        assert legacy["counters"] == tracked["counters"]
 
     @given(st.integers(0, 2**20))
     @settings(max_examples=5, deadline=None)

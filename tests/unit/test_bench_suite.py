@@ -94,6 +94,9 @@ class TestSuite:
             "read_mostly",
             "cross_region_txn",
             "elastic_join",
+            "open_loop_service",
+            "ramp_ceiling",
+            "lock_probe",
             "net_deliver_fanout",
             "wal_append",
             "trace_record",

@@ -1,5 +1,9 @@
 """Unit tests for the lock manager and deadlock detection."""
 
+import random
+
+from hypothesis import given, settings, strategies as st
+
 from repro.concurrency.deadlock import build_waits_for, choose_victim, find_deadlock
 from repro.concurrency.locks import LockManager, LockMode
 
@@ -211,3 +215,66 @@ class TestDeadlock:
     def test_waits_for_graph_nodes(self):
         graph = build_waits_for(self._cycle())
         assert set(graph.nodes) == {"T1", "T2"}
+
+
+class TestProbeParity:
+    """The exclusive-holder counter vs the legacy compatibility scan.
+
+    ``legacy_probe=True`` restores the historical allocating
+    ``all(compatible_with...)`` probe; random op interleavings applied
+    to both managers must produce identical grant decisions and
+    identical lock-table state at every step.
+    """
+
+    @given(st.integers(0, 2**20))
+    @settings(max_examples=40, deadline=None)
+    def test_grant_decisions_identical(self, seed):
+        rng = random.Random(seed)
+        tracked = LockManager(1)
+        legacy = LockManager(1, legacy_probe=True)
+        txns = [f"T{i}" for i in range(5)]
+        items = ["x", "y", "z"]
+        for _ in range(60):
+            action = rng.randrange(3)
+            txn = rng.choice(txns)
+            item = rng.choice(items)
+            mode = LockMode.EXCLUSIVE if rng.random() < 0.5 else LockMode.SHARED
+            if action == 0:
+                assert tracked.acquire(txn, item, mode) == legacy.acquire(
+                    txn, item, mode
+                )
+            elif action == 1:
+                assert tracked.try_acquire(txn, item, mode) == legacy.try_acquire(
+                    txn, item, mode
+                )
+            else:
+                assert tracked.release_all(txn) == legacy.release_all(txn)
+            for probe_item in items:
+                assert tracked.holder_modes(probe_item) == legacy.holder_modes(
+                    probe_item
+                )
+                assert [r.txn for r in tracked.waiting(probe_item)] == [
+                    r.txn for r in legacy.waiting(probe_item)
+                ]
+
+    @given(st.integers(0, 2**20))
+    @settings(max_examples=40, deadline=None)
+    def test_exclusive_counter_matches_holder_scan(self, seed):
+        rng = random.Random(seed)
+        lm = LockManager(1)
+        txns = [f"T{i}" for i in range(4)]
+        for _ in range(50):
+            txn = rng.choice(txns)
+            mode = LockMode.EXCLUSIVE if rng.random() < 0.5 else LockMode.SHARED
+            if rng.random() < 0.3:
+                lm.release_all(txn)
+            elif rng.random() < 0.5:
+                lm.acquire(txn, "hot", mode)
+            else:
+                lm.try_acquire(txn, "hot", mode)
+            entry = lm._items.get("hot")
+            if entry is not None:
+                scanned = sum(
+                    held is LockMode.EXCLUSIVE for held in entry.holders.values()
+                )
+                assert entry.exclusive == scanned

@@ -1,0 +1,261 @@
+"""The unified traffic layer: closed- and open-loop drives.
+
+The closed-loop engine is a pure extraction of the historical driver
+loops (the bench fixed-point suite proves byte-identity at scale); here
+we pin the lifecycle semantics — arrival scheduling, outcome tallies,
+determinism — and the open-loop mode's admission accounting identity
+``offered == admitted + shed_backpressure + shed_unreachable``.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.db.cluster import Cluster
+from repro.experiments.service_study import (
+    discover_ceiling,
+    run_open_loop_service,
+    service_failure_plan,
+)
+from repro.sim.rng import RngRegistry
+from repro.traffic import OpenLoopResult, TrafficEngine, ramp
+from repro.workload.generators import random_catalog
+from repro.workload.spec import WorkloadSpec
+
+
+def _engine(seed=0, protocol="qtp1", spec=None, n_sites=6, n_items=4):
+    rng = RngRegistry(seed).stream("traffic-test")
+    catalog = random_catalog(rng, n_sites=n_sites, n_items=n_items, replication=3)
+    cluster = Cluster(catalog, protocol=protocol, seed=seed)
+    if spec is None:
+        spec = WorkloadSpec(n_txns=12, arrival="fixed", mean_spacing=2.0)
+    return TrafficEngine(cluster, spec.compile(catalog), rng)
+
+
+class TestClosedLoop:
+    def test_every_arrival_resolves_to_an_outcome(self):
+        engine = _engine()
+        outcomes, handles = engine.run_closed()
+        result = engine.tally("qtp1")
+        # every arrival became exactly one client outcome (fast-path
+        # reads and client aborts included), and every handle a verdict
+        assert result.submitted == 12
+        assert (
+            result.committed
+            + result.client_aborted
+            + result.protocol_aborted
+            + result.blocked
+            + result.reads_committed
+            == 12
+        )
+        assert set(handles) <= set(outcomes)
+
+    def test_two_runs_identical(self):
+        first = _engine().run_closed()[0]
+        second = _engine().run_closed()[0]
+        assert first == second
+
+    def test_tally_probe_sees_finished_cluster(self):
+        engine = _engine()
+        engine.run_closed()
+        seen = {}
+        engine.tally("qtp1", probe=lambda cluster: seen.update(now=cluster.scheduler.now))
+        assert seen["now"] == engine.cluster.scheduler.now
+
+    def test_read_only_ops_commit_on_fast_path(self):
+        spec = WorkloadSpec(
+            n_txns=10, arrival="fixed", mean_spacing=2.0, read_fraction=1.0
+        )
+        engine = _engine(spec=spec)
+        outcomes, handles = engine.run_closed()
+        assert not handles  # nothing went through a commit protocol
+        assert set(outcomes.values()) == {"read-committed"}
+        assert engine.tally("qtp1").reads_committed == 10
+
+
+class TestOpenSpec:
+    def test_open_requires_rate_and_duration(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(arrival="open")
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(arrival="open", rate=2.0)
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(arrival="open", rate=2.0, duration=-1.0)
+
+    def test_rate_rejected_on_closed_specs(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(arrival="poisson", rate=2.0)
+
+    def test_arrivals_refused_for_open_specs(self):
+        spec = WorkloadSpec(arrival="open", rate=2.0, duration=10.0)
+        engine = _engine(spec=spec)
+        with pytest.raises(ConfigurationError):
+            engine.compiled.arrivals(engine.rng)
+
+    def test_next_gap_refused_for_closed_specs(self):
+        engine = _engine()
+        with pytest.raises(ConfigurationError):
+            engine.compiled.next_gap(engine.rng)
+
+    def test_describe_names_the_service(self):
+        spec = WorkloadSpec(arrival="open", rate=1.5, duration=60.0)
+        assert "open@1.5/s x60s" in spec.describe()
+
+
+class TestOpenLoop:
+    def test_admission_accounting_identity(self):
+        result = run_open_loop_service("qtp1", seed=1, rate=1.2, duration=40.0)
+        assert result.offered > 0
+        assert (
+            result.offered
+            == result.admitted + result.shed_backpressure + result.shed_unreachable
+        )
+        assert (
+            result.admitted
+            == result.committed
+            + result.reads_committed
+            + result.client_aborted
+            + result.protocol_aborted
+            + result.unresolved
+        )
+
+    def test_latency_digest_counts_decided_updates(self):
+        result = run_open_loop_service("qtp1", seed=1, rate=1.2, duration=40.0)
+        latency = result.latency
+        assert latency["n"] == result.committed + result.protocol_aborted
+        assert latency["p50"] <= latency["p99"] <= latency["p999"]
+        assert result.counters()["latency_p999"] == latency["p999"]
+
+    def test_two_runs_identical(self):
+        first = run_open_loop_service("qtp1", seed=3, rate=1.0, duration=30.0)
+        second = run_open_loop_service("qtp1", seed=3, rate=1.0, duration=30.0)
+        assert first.counters() == second.counters()
+        assert first.digest_state == second.digest_state
+
+    def test_window_one_sheds_under_load(self):
+        # a tiny admission window at a high rate must shed traffic
+        result = run_open_loop_service(
+            "qtp1", seed=2, rate=8.0, duration=20.0, window=1, episode_window=None
+        )
+        assert result.shed_backpressure > 0
+        assert result.shed_rate > 0.0
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_open_loop_service("qtp1", seed=0, rate=1.0, duration=10.0, window=0)
+
+    def test_partition_episode_sheds_unreachable(self):
+        # the minority partition component refuses quorums; arrivals at
+        # dead sites would be shed_unreachable, partition aborts show up
+        # as client/protocol aborts — either way the quiet run commits
+        # at least as much as the partitioned one
+        stormy = run_open_loop_service("qtp1", seed=4, rate=1.5, duration=60.0)
+        quiet = run_open_loop_service(
+            "qtp1", seed=4, rate=1.5, duration=60.0, episode_window=None
+        )
+        assert quiet.committed >= stormy.committed
+
+    def test_probe_sees_finished_cluster(self):
+        seen = {}
+        run_open_loop_service(
+            "qtp1",
+            seed=0,
+            rate=1.0,
+            duration=20.0,
+            probe=lambda cluster: seen.update(events=cluster.scheduler.events_run),
+        )
+        assert seen["events"] > 0
+
+
+class TestServiceFailurePlan:
+    def test_majority_minority_split(self):
+        plan = service_failure_plan(10.0, 5.0, list(range(9)))
+        assert [type(a).__name__ for a in plan.actions] == [
+            "PartitionNetwork",
+            "HealNetwork",
+        ]
+        assert [a.time for a in plan.actions] == [10.0, 15.0]
+        assert sorted(len(g) for g in plan.actions[0].groups) == [3, 6]
+
+
+class TestRamp:
+    def test_ceiling_discovery_is_deterministic(self):
+        first = discover_ceiling("qtp1", seed=0, rates=(0.5, 1.0, 2.0), duration=30.0)
+        second = discover_ceiling("qtp1", seed=0, rates=(0.5, 1.0, 2.0), duration=30.0)
+        assert first.counters() == second.counters()
+        assert len(first.steps) <= 3
+
+    def test_untripped_ramp_reports_last_rate(self):
+        def step(rate):
+            return OpenLoopResult(
+                protocol="qtp1",
+                rate=rate,
+                duration=10.0,
+                offered=10,
+                admitted=10,
+                shed_backpressure=0,
+                shed_unreachable=0,
+                committed=10,
+                reads_committed=0,
+                client_aborted=0,
+                protocol_aborted=0,
+                unresolved=0,
+                serializable=True,
+                readable_fraction=1.0,
+                latency={"n": 10, "p50": 1.0, "p99": 2.0},
+            )
+
+        result = ramp(step, [1.0, 2.0, 4.0])
+        assert result.ceiling == 4.0
+        assert result.tripped is None
+        assert result.counters()["tripped"] == "none"
+
+    def test_abort_threshold_trips(self):
+        def step(rate):
+            aborted = 9 if rate > 1.0 else 0
+            return OpenLoopResult(
+                protocol="qtp1",
+                rate=rate,
+                duration=10.0,
+                offered=10,
+                admitted=10,
+                shed_backpressure=0,
+                shed_unreachable=0,
+                committed=10 - aborted,
+                reads_committed=0,
+                client_aborted=aborted,
+                protocol_aborted=0,
+                unresolved=0,
+                serializable=True,
+                readable_fraction=1.0,
+                latency={"n": 10, "p50": 1.0, "p99": 2.0},
+            )
+
+        result = ramp(step, [0.5, 1.0, 2.0, 4.0])
+        assert result.tripped == "abort_rate"
+        assert result.ceiling == 1.0
+        assert len(result.steps) == 3  # stopped at the first trip
+
+    def test_latency_knee_trips(self):
+        def step(rate):
+            p99 = 1.0 if rate <= 2.0 else 50.0
+            return OpenLoopResult(
+                protocol="qtp1",
+                rate=rate,
+                duration=10.0,
+                offered=10,
+                admitted=10,
+                shed_backpressure=0,
+                shed_unreachable=0,
+                committed=10,
+                reads_committed=0,
+                client_aborted=0,
+                protocol_aborted=0,
+                unresolved=0,
+                serializable=True,
+                readable_fraction=1.0,
+                latency={"n": 10, "p50": 0.5, "p99": p99},
+            )
+
+        result = ramp(step, [1.0, 2.0, 4.0], knee_factor=4.0)
+        assert result.tripped == "latency_knee"
+        assert result.ceiling == 2.0
