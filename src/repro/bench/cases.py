@@ -28,6 +28,15 @@ Representative workloads covered:
   service intervals until the p99 knee or the abort-rate SLO trips;
   pins the discovered throughput ceiling
   (:func:`~repro.experiments.service_study.discover_ceiling`).
+* ``rolling_upgrade`` — E27: wave-by-wave graceful leave/rejoin under
+  live closed-loop traffic with a retrying client
+  (:func:`~repro.experiments.resilience_study.run_rolling_upgrade`).
+* ``flash_crowd`` — E28: a piecewise-constant arrival-rate surge
+  through the adaptive admission controller
+  (:func:`~repro.experiments.resilience_study.run_flash_crowd`).
+* ``gray_failure`` — a degraded (slow-not-dead) site plus a flapping
+  link under an open-loop service
+  (:func:`~repro.experiments.resilience_study.run_gray_failure`).
 * ``lock_probe`` — A/B microbench of the vote-hook lock probe: the
   historical allocating ``all(compatible_with...)`` holder scan vs the
   exclusive-holder counter (two integer tests); grant decisions are
@@ -346,6 +355,68 @@ def ramp_ceiling_trial(
         duration=duration,
     )
     return {"counters": result.counters(), "timing": {"wall_s": time.perf_counter() - t0}}
+
+
+# ----------------------------------------------------------------------
+# E27/E28 resilience scenarios
+# ----------------------------------------------------------------------
+
+
+def rolling_upgrade_trial(
+    seed: int, protocol: str, n_txns: int = 70, waves: int = 3
+) -> dict[str, Any]:
+    """One E27 rolling-upgrade run (graceful leave/rejoin waves under
+    live retrying traffic)."""
+    from repro.experiments.resilience_study import run_rolling_upgrade
+
+    t0 = time.perf_counter()
+    counters = run_rolling_upgrade(protocol, seed=seed, n_txns=n_txns, waves=waves)
+    return {"counters": counters, "timing": {"wall_s": time.perf_counter() - t0}}
+
+
+def flash_crowd_trial(
+    seed: int,
+    protocol: str,
+    duration: float = 120.0,
+    surge_start: float = 40.0,
+    surge_length: float = 30.0,
+) -> dict[str, Any]:
+    """One E28 flash-crowd run (rate-schedule surge through the
+    adaptive admission window)."""
+    from repro.experiments.resilience_study import run_flash_crowd
+
+    t0 = time.perf_counter()
+    counters = run_flash_crowd(
+        protocol,
+        seed=seed,
+        duration=duration,
+        surge_start=surge_start,
+        surge_length=surge_length,
+    )
+    return {"counters": counters, "timing": {"wall_s": time.perf_counter() - t0}}
+
+
+def gray_failure_trial(
+    seed: int,
+    protocol: str,
+    rate: float = 1.5,
+    duration: float = 120.0,
+    episode_start: float = 30.0,
+    episode_length: float = 40.0,
+) -> dict[str, Any]:
+    """One gray-failure service run (degraded site + flapping link)."""
+    from repro.experiments.resilience_study import run_gray_failure
+
+    t0 = time.perf_counter()
+    counters = run_gray_failure(
+        protocol,
+        seed=seed,
+        rate=rate,
+        duration=duration,
+        episode_start=episode_start,
+        episode_length=episode_length,
+    )
+    return {"counters": counters, "timing": {"wall_s": time.perf_counter() - t0}}
 
 
 # ----------------------------------------------------------------------
@@ -1401,6 +1472,15 @@ _SCALES = {
         "service_sites": 9,
         "ramp_rates": [0.5, 1.0, 2.0, 4.0, 8.0],
         "ramp_duration": 60.0,
+        "upgrade_txns": 70,
+        "upgrade_waves": 3,
+        "crowd_duration": 120.0,
+        "crowd_surge_start": 40.0,
+        "crowd_surge_length": 30.0,
+        "gray_rate": 1.5,
+        "gray_duration": 120.0,
+        "gray_episode_start": 30.0,
+        "gray_episode_length": 40.0,
         "probe_readers": 400,
         "probe_count": 20_000,
         "repeats": 3,
@@ -1443,6 +1523,15 @@ _SCALES = {
         "service_sites": 6,
         "ramp_rates": [0.5, 1.5],
         "ramp_duration": 20.0,
+        "upgrade_txns": 30,
+        "upgrade_waves": 2,
+        "crowd_duration": 60.0,
+        "crowd_surge_start": 20.0,
+        "crowd_surge_length": 15.0,
+        "gray_rate": 0.8,
+        "gray_duration": 40.0,
+        "gray_episode_start": 10.0,
+        "gray_episode_length": 20.0,
         "probe_readers": 40,
         "probe_count": 1_000,
         "repeats": 1,
@@ -1580,6 +1669,54 @@ def default_suite(scale: str = "full") -> BenchSuite:
                     fixed={
                         "rates": s["ramp_rates"],
                         "duration": s["ramp_duration"],
+                    },
+                ),
+                repeats=repeats,
+            ),
+            BenchCase(
+                name="rolling_upgrade",
+                spec=SweepSpec(
+                    name="bench-rolling-upgrade",
+                    task=rolling_upgrade_trial,
+                    grid={"protocol": ["qtp1", "qtp2"]},
+                    runs=2,
+                    seeding="offset",
+                    fixed={
+                        "n_txns": s["upgrade_txns"],
+                        "waves": s["upgrade_waves"],
+                    },
+                ),
+                repeats=repeats,
+            ),
+            BenchCase(
+                name="flash_crowd",
+                spec=SweepSpec(
+                    name="bench-flash-crowd",
+                    task=flash_crowd_trial,
+                    grid={"protocol": ["2pc", "qtp2"]},
+                    runs=2,
+                    seeding="offset",
+                    fixed={
+                        "duration": s["crowd_duration"],
+                        "surge_start": s["crowd_surge_start"],
+                        "surge_length": s["crowd_surge_length"],
+                    },
+                ),
+                repeats=repeats,
+            ),
+            BenchCase(
+                name="gray_failure",
+                spec=SweepSpec(
+                    name="bench-gray-failure",
+                    task=gray_failure_trial,
+                    grid={"protocol": ["qtp1", "qtp2"]},
+                    runs=2,
+                    seeding="offset",
+                    fixed={
+                        "rate": s["gray_rate"],
+                        "duration": s["gray_duration"],
+                        "episode_start": s["gray_episode_start"],
+                        "episode_length": s["gray_episode_length"],
                     },
                 ),
                 repeats=repeats,

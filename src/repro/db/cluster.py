@@ -41,7 +41,7 @@ from repro.protocols.twopc import CooperativeTerminationRule, TwoPCEngine
 from repro.replication.accessor import QuorumPlanner, ReadResult
 from repro.replication.catalog import ReplicaCatalog
 from repro.replication.missing_writes import MissingWritesTracker
-from repro.sim.failures import FailureInjector, FailurePlan, JoinSite
+from repro.sim.failures import FailureInjector, FailurePlan, JoinSite, LeaveSite
 from repro.sim.rng import RngRegistry
 from repro.sim.scheduler import Scheduler
 from repro.sim.trace import Tracer
@@ -109,9 +109,12 @@ class Cluster:
             site_votes, commit_quorum, abort_quorum, primaries, enforce_ignore_rules
         )
         self.injector = FailureInjector(
-            self.scheduler, self.network, membership=self._apply_join
+            self.scheduler, self.network, membership=self._apply_membership
         )
         self.network.subscribe(self._on_connectivity_change)
+        #: sites that left gracefully (kept for post-run inspection —
+        #: their WALs and stores survive the decommission by design).
+        self.departed: dict[int, Site] = {}
         self._txns: dict[str, TxnHandle] = {}
         self._read_footprints: dict[str, dict[str, int]] = {}
         self._readonly_committed: list[CommittedTxn] = []
@@ -450,9 +453,90 @@ class Cluster:
         )
         return site
 
-    def _apply_join(self, action: JoinSite) -> None:
-        """The failure injector's membership hook (``FailurePlan.join``)."""
-        self.join_site(action.site, dict(action.copies), near=action.near)
+    def leave_site(
+        self,
+        site_id: int,
+        drain_interval: float | None = None,
+        drain_polls: int = 8,
+    ) -> None:
+        """Gracefully decommission a site mid-run (the dual of join).
+
+        Three phases, all at virtual time:
+
+        1. **Hand-off** — the site's copies are evicted from the shared
+           catalog (quorum votes re-derived majority-style over the
+           survivors, see :meth:`ReplicaCatalog.evict_site
+           <repro.replication.catalog.ReplicaCatalog.evict_site>`), so
+           no later transaction enlists it; its newest versions are
+           pushed to the staler reachable surviving hosts first, so the
+           hand-off never loses an installed write inside its component.
+        2. **Drain** — while the site still holds undecided transactions
+           it stays registered (its votes and locks keep serving the
+           in-flight commit procedures), re-checked every
+           ``drain_interval`` virtual seconds up to ``drain_polls``
+           times.  A site that cannot drain in budget (e.g. blocked
+           behind a partition) departs anyway, traced ``leave-forced``.
+        3. **Deregister** — the network removes the node (messages in
+           flight to it drop as ``departed-in-flight``) and the cluster
+           moves it to :attr:`departed`.  Unlike a crash, nothing is
+           lost and the trace records ``leave``, never ``crash``.
+
+        Raises:
+            ConfigurationError: unknown or crashed site, or an eviction
+                the catalog rejects (the site holds some item's only
+                copy).  A rejected leave changes nothing.
+        """
+        if site_id not in self.sites:
+            raise ConfigurationError(f"cannot leave unknown site {site_id}")
+        site = self.sites[site_id]
+        if not site.alive:
+            raise ConfigurationError(
+                f"site {site_id} is down; a graceful leave needs a live site "
+                "(crash/recover is the fail-stop path)"
+            )
+        evicted = self.catalog.evict_site(site_id)  # validates before mutating
+        # push the leaver's newest versions to staler reachable survivors
+        for item in sorted(evicted):
+            record = site.store.read(item)
+            if record.version <= 0:
+                continue
+            for host in self.network.reachable_from(site_id, self.catalog.sites_of(item)):
+                if host == site_id:
+                    continue
+                copy = self.sites[host].store.read(item)
+                if copy.version < record.version:
+                    self.sites[host].store.write(item, record.value, record.version)
+        self.tracer.record(
+            self.scheduler.now, site_id, "leave-begin", items=sorted(evicted)
+        )
+        interval = drain_interval if drain_interval is not None else max(self.network.T, 1.0)
+
+        def poll(remaining: int) -> None:
+            if site.undecided_txns() and remaining > 0:
+                self.scheduler.call_fixed_after(interval, poll, remaining - 1)
+                return
+            self._finish_leave(site_id, forced=bool(site.undecided_txns()))
+
+        if site.undecided_txns():
+            self.scheduler.call_fixed_after(interval, poll, drain_polls - 1)
+        else:
+            self._finish_leave(site_id, forced=False)
+
+    def _finish_leave(self, site_id: int, forced: bool) -> None:
+        """Phase 3 of :meth:`leave_site`: deregister the drained site."""
+        if forced:
+            self.tracer.record(self.scheduler.now, site_id, "leave-forced")
+        if self.protocol == "skq":
+            self.skeen_rule.discard_site(site_id)
+        self.network.deregister(site_id)  # traces the canonical "leave"
+        self.departed[site_id] = self.sites.pop(site_id)
+
+    def _apply_membership(self, action: "JoinSite | LeaveSite") -> None:
+        """The failure injector's membership hook (join / leave plans)."""
+        if isinstance(action, LeaveSite):
+            self.leave_site(action.site)
+        else:
+            self.join_site(action.site, dict(action.copies), near=action.near)
 
     # ------------------------------------------------------------------
     # inspection

@@ -24,6 +24,11 @@ generated from these outputs by ``examples/regenerate_experiments.py``.
 
 from repro.experiments.ablations import pairing_ablation, timeout_ablation
 from repro.experiments.flows import CommitMetrics, latency_sweep, measure_commit
+from repro.experiments.resilience_study import (
+    run_flash_crowd,
+    run_gray_failure,
+    run_rolling_upgrade,
+)
 from repro.experiments.stats import mean_ci, paired_comparison
 from repro.experiments.sweeps import (
     availability_sweep,
@@ -51,7 +56,10 @@ __all__ = [
     "reenterability_storm",
     "run_cross_region",
     "run_elastic_join",
+    "run_flash_crowd",
+    "run_gray_failure",
     "run_read_mostly",
+    "run_rolling_upgrade",
     "run_skewed_contention",
     "run_workload",
     "timeout_ablation",

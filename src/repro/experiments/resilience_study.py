@@ -1,0 +1,315 @@
+"""Experiments E27/E28 — graceful degradation under churn and surge.
+
+The gray-failure arm of the study: where E18–E26 stress fail-stop
+faults (crash, partition, loss), these drivers stress the *in-between*
+failure modes real installations live with — planned membership churn,
+load surges, and sites that are slow rather than dead:
+
+* **E27 rolling upgrade** (:func:`run_rolling_upgrade`) — waves of
+  sites gracefully leave (:meth:`FailurePlan.leave
+  <repro.sim.failures.FailurePlan.leave>`: catalog hand-off, drain,
+  deregister) and rejoin upgraded, all under live closed-loop traffic
+  with a retrying client.  The question: does a planned wave-by-wave
+  decommission preserve commit availability the way a crash never can,
+  and do client retries paper over the transient aborts?
+* **E28 flash crowd** (:func:`run_flash_crowd`) — an open-loop service
+  whose arrival rate follows a piecewise-constant schedule (quiet →
+  surge → quiet) while an :class:`~repro.traffic.AdaptiveWindow`
+  controller retunes the admission window against the streaming p99.
+  The question: how much of the surge is shed vs absorbed, and does
+  the controller widen back out after the crowd passes?
+* **gray failure** (:func:`run_gray_failure`) — one degraded site
+  (every delivery touching it stretched by ``factor``) plus a flapping
+  link, under a fixed-window open-loop service.  Nothing is ever
+  *down*, so the fail-stop counters stay quiet — the damage shows up
+  only in the latency tail, which is exactly what makes gray failures
+  hard to see.
+
+All three are deterministic drivers returning flat counter dicts; the
+benchmark suite pins them as ``BENCH_rolling_upgrade.json`` /
+``BENCH_flash_crowd.json`` / ``BENCH_gray_failure.json``, and the
+gray-failure run is recordable/replayable like any other open-loop
+service (the artifact codec round-trips degrade/flap actions).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.concurrency.serializability import ConflictGraph
+from repro.db.cluster import Cluster
+from repro.engine.resilience import RetryPolicy
+from repro.experiments.service_study import run_open_loop_service
+from repro.sim.failures import FailurePlan, JoinSite, LeaveSite
+from repro.sim.rng import RngRegistry
+from repro.traffic import AdaptiveWindow, TrafficEngine
+from repro.workload.generators import memoized_catalog, random_catalog
+from repro.workload.spec import WorkloadSpec
+
+#: the default client retry policy for rolling upgrades: three attempts
+#: with a bounded exponential backoff on the virtual clock.
+UPGRADE_RETRY = RetryPolicy(max_attempts=3, backoff=0.5, backoff_cap=4.0)
+
+
+def rolling_upgrade_plan(
+    catalog,
+    sites: "list[int]",
+    waves: int,
+    first_leave: float,
+    wave_spacing: float,
+    upgrade_time: float,
+) -> FailurePlan:
+    """The wave-by-wave leave/rejoin schedule for :func:`run_rolling_upgrade`.
+
+    Wave ``k`` gracefully removes ``sites[k]`` at
+    ``first_leave + k * wave_spacing`` and rejoins it ``upgrade_time``
+    later with one vote per item it used to host, anchored near the
+    last site (which is never upgraded, so the anchor always exists).
+    Deterministic by construction — no RNG draws — so arming it never
+    shifts the workload stream.
+    """
+    if waves >= len(sites):
+        raise ValueError(
+            f"cannot upgrade {waves} of {len(sites)} sites: the last site "
+            "must survive as the rejoin anchor"
+        )
+    plan = FailurePlan()
+    anchor = sites[-1]
+    for k in range(waves):
+        site = sites[k]
+        # capture the hosted set *now*, before any eviction mutates the
+        # catalog: the plan is built against the pristine placement.
+        hosted = [i for i in catalog.item_names if site in catalog.sites_of(i)]
+        t_leave = first_leave + k * wave_spacing
+        plan.leave(t_leave, site)
+        plan.join(
+            t_leave + upgrade_time, site, copies={i: 1 for i in hosted}, near=anchor
+        )
+    return plan
+
+
+def run_rolling_upgrade(
+    protocol: str,
+    seed: int = 0,
+    n_txns: int = 70,
+    n_sites: int = 9,
+    n_items: int = 6,
+    replication: int = 3,
+    waves: int = 3,
+    first_leave: float = 12.0,
+    wave_spacing: float = 18.0,
+    upgrade_time: float = 9.0,
+    mean_spacing: float = 1.2,
+    retry: RetryPolicy | None = UPGRADE_RETRY,
+) -> dict[str, Any]:
+    """E27: wave-by-wave graceful site upgrades under live traffic.
+
+    ``waves`` sites leave one at a time (catalog hand-off, in-flight
+    drain, deregister) and rejoin ``upgrade_time`` virtual seconds
+    later hosting the same items, while a closed-loop interactive
+    stream keeps submitting — with a client :class:`RetryPolicy`, so a
+    transient abort during a wave is re-submitted after deterministic
+    capped backoff rather than counted as lost.  Ops whose origin is
+    mid-upgrade are tallied ``unreachable_origin``, never silently
+    dropped.
+
+    The counters to watch: ``leaves_applied`` / ``joins_applied``
+    confirm every wave completed, ``sites_restored`` that each upgraded
+    site is back in the live set at quiescence, ``retry_attempts`` the
+    retry work the waves induced, and ``serializable`` that churn never
+    cost one-copy serializability.
+    """
+    registry = RngRegistry(seed)
+    rng = registry.stream("rolling-upgrade")
+    # mutable: leaves evict and rejoins re-admit catalog placements, so
+    # each trial forks the memoized original
+    catalog = memoized_catalog(
+        rng,
+        ("rolling-upgrade", n_sites, n_items, replication),
+        lambda r: random_catalog(
+            r, n_sites=n_sites, n_items=n_items, replication=replication
+        ),
+        mutable=True,
+    )
+    spec = WorkloadSpec(n_txns=n_txns, mean_spacing=mean_spacing)
+    compiled = spec.compile(catalog)
+    cluster = Cluster(catalog, protocol=protocol, seed=seed)
+
+    upgraded = sorted(cluster.network.sites)
+    plan = rolling_upgrade_plan(
+        catalog, upgraded, waves, first_leave, wave_spacing, upgrade_time
+    )
+    cluster.arm_failures(plan)
+
+    engine = TrafficEngine(cluster, compiled, rng, retry=retry)
+    outcomes, handles = engine.run_closed()
+
+    committed = aborted = blocked = 0
+    for txn in handles:
+        outcome = cluster.outcome(txn).outcome
+        if outcome == "commit":
+            committed += 1
+        elif outcome == "abort":
+            aborted += 1
+        else:
+            blocked += 1
+    history = cluster.committed_history()
+    return {
+        "submitted": len(handles) + len(outcomes),
+        "committed": committed,
+        "client_aborted": sum(1 for o in outcomes.values() if o == "client-aborted"),
+        "protocol_aborted": aborted,
+        "blocked": blocked,
+        "serializable": ConflictGraph(history).is_serializable(),
+        "leaves_applied": sum(
+            1 for a in cluster.injector.applied if isinstance(a, LeaveSite)
+        ),
+        "joins_applied": sum(
+            1 for a in cluster.injector.applied if isinstance(a, JoinSite)
+        ),
+        "sites_restored": sum(1 for s in upgraded[:waves] if s in cluster.sites),
+        "retry_attempts": engine.retry_attempts,
+        "unreachable_origin": engine.tallies.get("unreachable_origin", 0),
+        "messages_sent": cluster.network.sent,
+        "messages_delivered": cluster.network.delivered,
+    }
+
+
+def run_flash_crowd(
+    protocol: str,
+    seed: int = 0,
+    base_rate: float = 1.0,
+    surge_rate: float = 6.0,
+    surge_start: float = 40.0,
+    surge_length: float = 30.0,
+    duration: float = 120.0,
+    n_sites: int = 9,
+    n_items: int = 12,
+    replication: int = 3,
+    window: int = 4,
+    adapt: AdaptiveWindow | None = None,
+) -> dict[str, Any]:
+    """E28: a flash crowd through the adaptive admission controller.
+
+    The arrival rate follows a three-step schedule — ``base_rate``
+    until ``surge_start``, ``surge_rate`` for ``surge_length`` seconds,
+    then back to ``base_rate`` — on a quiet network (the surge *is* the
+    event).  The default :class:`~repro.traffic.AdaptiveWindow` narrows
+    the per-site window when the windowed p99 blows past its target —
+    commit latency here is protocol-round-bound, so the default target
+    sits below the contended tail and the pinned trajectory is the
+    shedding arm.  The ``window_narrowed`` / ``window_widened`` /
+    ``window_final`` counters are the controller's trajectory, and
+    ``shed_backpressure`` is the traffic it refused to keep the tail.
+    """
+    if adapt is None:
+        adapt = AdaptiveWindow(target_p99=3.0, low=1, high=12, interval=10.0)
+    spec = WorkloadSpec(
+        arrival="open",
+        rate=base_rate,
+        duration=duration,
+        rate_schedule=(
+            (0.0, base_rate),
+            (surge_start, surge_rate),
+            (surge_start + surge_length, base_rate),
+        ),
+    )
+    result = run_open_loop_service(
+        protocol,
+        seed=seed,
+        rate=base_rate,
+        duration=duration,
+        n_sites=n_sites,
+        n_items=n_items,
+        replication=replication,
+        window=window,
+        episode_window=None,
+        workload=spec,
+        adapt=adapt,
+    )
+    return dict(result.counters())
+
+
+def gray_failure_plan(
+    start: float,
+    length: float,
+    slow_site: int,
+    factor: float,
+    flap_src: int,
+    flap_dst: int,
+    period: float = 6.0,
+    duty: float = 0.5,
+    cycles: int = 3,
+) -> FailurePlan:
+    """One deterministic gray-failure episode: a slow site plus a
+    flapping link, healed after ``length`` virtual seconds.  No RNG
+    draws, so arming it never shifts an arrival stream."""
+    return (
+        FailurePlan()
+        .degrade(start, slow_site, factor)
+        .flap(start, flap_src, flap_dst, period, duty=duty, cycles=cycles)
+        .restore(start + length, slow_site)
+    )
+
+
+def run_gray_failure(
+    protocol: str,
+    seed: int = 0,
+    rate: float = 1.5,
+    duration: float = 120.0,
+    n_sites: int = 9,
+    n_items: int = 6,
+    replication: int = 3,
+    window: int = 4,
+    episode_start: float = 30.0,
+    episode_length: float = 40.0,
+    factor: float = 6.0,
+    failures: FailurePlan | None = None,
+) -> dict[str, Any]:
+    """The gray-failure service run: slow, not dead.
+
+    One open-loop interval where the first hosting site delivers
+    ``factor`` times slower (every message in or out stretched at the
+    delay-sampling layer) and the link between the next two hosting
+    sites flaps on a deterministic duty cycle —
+    while every site stays *alive*, so ``shed_unreachable`` and the
+    crash counters stay at their quiet-run values.  The episode shows
+    up only where gray failures always do — stretched decisions that
+    trip protocol timeouts (``protocol_aborted`` up, ``committed``
+    down) and a fatter latency distribution — which is the signature
+    this driver exists to measure.
+
+    ``failures`` overrides the built-in :func:`gray_failure_plan`
+    episode (the replay harness passes the recorded plan through).
+    """
+    if failures is None:
+        # derive the same memoized catalog the service will bind (the
+        # memo also restores the stream position, so the arrival draws
+        # are untouched) and aim the episode at sites that exist — a
+        # random catalog does not necessarily host every id in range
+        registry = RngRegistry(seed)
+        rng = registry.stream("open-loop")
+        catalog = memoized_catalog(
+            rng,
+            ("open-loop", n_sites, n_items, replication),
+            lambda r: random_catalog(
+                r, n_sites=n_sites, n_items=n_items, replication=replication
+            ),
+        )
+        hosts = sorted(catalog.all_sites())
+        failures = gray_failure_plan(
+            episode_start, episode_length, slow_site=hosts[0], factor=factor,
+            flap_src=hosts[1], flap_dst=hosts[2],
+        )
+    result = run_open_loop_service(
+        protocol,
+        seed=seed,
+        rate=rate,
+        duration=duration,
+        n_sites=n_sites,
+        n_items=n_items,
+        replication=replication,
+        window=window,
+        failures=failures,
+    )
+    return dict(result.counters())

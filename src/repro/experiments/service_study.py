@@ -79,6 +79,7 @@ def run_open_loop_service(
     workload: object | None = None,
     catalog: object | None = None,
     failures: FailurePlan | None = None,
+    adapt: object | None = None,
     probe: "Callable[[Cluster], None] | None" = None,
 ) -> OpenLoopResult:
     """E26: one open-loop service interval under a partition episode.
@@ -94,8 +95,11 @@ def run_open_loop_service(
     placement and the fault schedule (the replay harness records and
     re-drives services exactly like the closed-loop drivers); anything
     without a ``compile`` method is taken to already *be* a compiled
-    stream (e.g. a :class:`~repro.replay.RecordedWorkload`).  ``probe``
-    sees the finished cluster before the result is assembled.
+    stream (e.g. a :class:`~repro.replay.RecordedWorkload`).  ``adapt``
+    passes an :class:`~repro.traffic.AdaptiveWindow` controller through
+    to the service (``None`` — the default — is the historical fixed
+    window, byte-identical).  ``probe`` sees the finished cluster
+    before the result is assembled.
     """
     registry = RngRegistry(seed)
     rng = registry.stream("open-loop")
@@ -121,7 +125,8 @@ def run_open_loop_service(
 
     engine = TrafficEngine(cluster, compiled, rng)
     return engine.run_open(
-        protocol, window=window, latency_hi=latency_hi, bins=bins, probe=probe
+        protocol, window=window, latency_hi=latency_hi, bins=bins, adapt=adapt,
+        probe=probe,
     )
 
 

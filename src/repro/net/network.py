@@ -18,6 +18,17 @@ Semantics (matching the paper's fault model):
   two-coordinator scenario of Example 3 arises.
 * Directed links can be lossy (probability ``p``), independently of
   partitions; ``p = 1`` models a severed link.
+* A *degraded* site is slow, not dead (the gray-failure model): every
+  message it sends or receives samples its delivery delay as usual and
+  the result is stretched by the site's multiplicative factor (factors
+  compose when both endpoints are degraded).  Local deliveries stay
+  immediate and the RNG draw sequence is untouched, so a run with no
+  degradations is byte-identical to one where the overlay code does
+  not exist.
+* A site can *leave* gracefully (:meth:`deregister`): it is removed
+  from the universe without losing durable state — messages in flight
+  to it drop as ``departed-in-flight``, distinct from any crash
+  reason.
 
 Hot-path notes: connectivity used to be re-evaluated per message (two
 ``PartitionView.component_of`` lookups at send time and two more at
@@ -101,6 +112,10 @@ class Network:
         self._nodes: dict[int, "Node"] = {}
         self._partition = PartitionView([])
         self._link_loss: dict[tuple[int, int], float] = {}
+        # gray-failure latency overlay: site -> multiplicative factor
+        # (absent = 1.0); consulted only when non-empty, so historical
+        # runs never touch it.
+        self._degraded: dict[int, float] = {}
         self._filters: list[Callable[[Message], bool]] = []
         self._observers: list[Callable[[str], None]] = []
         self.sent = 0
@@ -148,6 +163,37 @@ class Network:
         # unlisted sites become singletons, so the new node lands alone
         self._partition = self._interned_view(groups)
         self._bump_epoch()
+
+    def deregister(self, site: int) -> None:
+        """Remove a node from the universe (graceful leave, not a crash).
+
+        The departing site keeps its durable state and is excised from
+        its partition component (empty components vanish; a healed
+        network stays healed over the survivors).  Messages still in
+        flight to it drop as ``departed-in-flight`` — a reason distinct
+        from every crash-path reason, so counters tell a leave from a
+        failure.  Lossy-link entries and any degradation overlay
+        touching the site are cleaned up with it.
+        """
+        if site not in self._nodes:
+            raise ValueError(f"unknown site {site}")
+        groups = None
+        if self._partition.is_partitioned:
+            groups = tuple(
+                kept
+                for members in self._partition.sorted_components()
+                if (kept := tuple(s for s in members if s != site))
+            )
+        del self._nodes[site]
+        self._view_cache.clear()  # interned views are universe-specific
+        self._partition = self._interned_view(groups)
+        self._bump_epoch()
+        self._degraded.pop(site, None)
+        stale = [pair for pair in self._link_loss if site in pair]
+        for pair in stale:
+            del self._link_loss[pair]
+        self._refresh_fast_path()
+        self._tracer.record(self._scheduler.now, site, "leave")
 
     def place_with(self, site: int, near: int) -> None:
         """Move ``site`` into ``near``'s partition component.
@@ -315,6 +361,30 @@ class Network:
         self._tracer.record(self._scheduler.now, GLOBAL_SITE, "heal")
         self._notify("heal")
 
+    def degrade_site(self, site: int, factor: float) -> None:
+        """Stretch every message delay to/from ``site`` by ``factor``.
+
+        The gray slow-site fault: the site stays alive, keeps voting and
+        keeps its timers — only its wire latency stretches.  Factors do
+        not stack; a second call replaces the first.  ``factor=1.0`` is
+        an exact no-op (the overlay entry is removed, so the hot paths
+        never even multiply).
+        """
+        if site not in self._nodes:
+            raise ValueError(f"unknown site {site}")
+        if factor <= 0.0:
+            raise ValueError(f"degradation factor must be positive, got {factor}")
+        if factor == 1.0:
+            self._degraded.pop(site, None)
+        else:
+            self._degraded[site] = factor
+        self._tracer.record(self._scheduler.now, site, "degrade", factor=factor)
+
+    def restore_site(self, site: int) -> None:
+        """Remove ``site``'s latency-degradation overlay (if any)."""
+        self._degraded.pop(site, None)
+        self._tracer.record(self._scheduler.now, site, "restore")
+
     def set_link_loss(self, src: int, dst: int, p: float) -> None:
         """Set the drop probability of the directed link ``src -> dst``."""
         if not 0.0 <= p <= 1.0:
@@ -389,6 +459,9 @@ class Network:
             delay = 0.0
         else:
             delay = self._delay_model.sample(self._rng, src, dst)
+            degraded = self._degraded
+            if degraded:
+                delay *= degraded.get(src, 1.0) * degraded.get(dst, 1.0)
         if dst_node.alive:
             # destination is live and reachable now; as long as the
             # epoch is unchanged on arrival nothing can have changed,
@@ -443,6 +516,7 @@ class Network:
         peers = self._sendable.get(src)
         sample = self._delay_model.sample
         rng = self._rng
+        degraded = self._degraded
         epoch = self._epoch
         deliver_fast = self._deliver_fast
         now = sched.now
@@ -467,6 +541,8 @@ class Network:
                 drop(msg, "partitioned")
                 continue
             delay = 0.0 if src == dst else sample(rng, src, dst)
+            if degraded and delay:
+                delay *= degraded.get(src, 1.0) * degraded.get(dst, 1.0)
             if dst_node.alive:
                 sched.call_fixed(now + delay, deliver_fast, dst_node, msg, epoch)
             else:
@@ -482,6 +558,9 @@ class Network:
             delay = 0.0
         else:
             delay = self._delay_model.sample(self._rng, msg.src, msg.dst)
+            degraded = self._degraded
+            if degraded:
+                delay *= degraded.get(msg.src, 1.0) * degraded.get(msg.dst, 1.0)
         label = self._labels.get(msg.mtype)
         if label is None:
             label = self._labels[msg.mtype] = f"deliver:{msg.mtype}"
@@ -521,11 +600,18 @@ class Network:
         node.deliver(msg)
 
     def _deliver(self, msg: Message) -> None:
-        node = self._nodes[msg.dst]
+        node = self._nodes.get(msg.dst)
+        if node is None:
+            # destination deregistered (graceful leave) while in flight
+            self._drop(msg, "departed-in-flight")
+            return
         if not node.alive:
             self._drop(msg, "destination-down")
             return
-        if not self._partition.reachable(msg.src, msg.dst):
+        # a departed *sender* has no component in the current view; its
+        # in-flight tail delivers like a crashed sender's would (leave
+        # must never be harsher than crash)
+        if msg.src in self._nodes and not self._partition.reachable(msg.src, msg.dst):
             self._drop(msg, "partitioned-in-flight")
             return
         self.delivered += 1

@@ -30,12 +30,16 @@ from repro.common.errors import StoreError
 from repro.replication.catalog import ItemConfig, ReplicaCatalog
 from repro.sim.failures import (
     CrashSite,
+    DegradeSite,
     FailureAction,
     FailurePlan,
+    FlapLink,
     HealNetwork,
     JoinSite,
+    LeaveSite,
     PartitionNetwork,
     RecoverSite,
+    RestoreSite,
     SetLinkLoss,
 )
 from repro.workload.spec import WorkloadOp, WorkloadSpec
@@ -84,6 +88,27 @@ def encode_action(action: FailureAction) -> dict[str, Any]:
             "copies": [list(pair) for pair in action.copies],
             "near": action.near,
         }
+    if isinstance(action, DegradeSite):
+        return {
+            "action": "degrade",
+            "time": action.time,
+            "site": action.site,
+            "factor": action.factor,
+        }
+    if isinstance(action, RestoreSite):
+        return {"action": "restore", "time": action.time, "site": action.site}
+    if isinstance(action, FlapLink):
+        return {
+            "action": "flap",
+            "time": action.time,
+            "src": action.src,
+            "dst": action.dst,
+            "period": action.period,
+            "duty": action.duty,
+            "cycles": action.cycles,
+        }
+    if isinstance(action, LeaveSite):
+        return {"action": "leave", "time": action.time, "site": action.site}
     raise StoreError(f"cannot encode failure action {action!r}")
 
 
@@ -112,6 +137,21 @@ def decode_action(payload: dict[str, Any]) -> FailureAction:
                 tuple((item, votes) for item, votes in payload["copies"]),
                 payload.get("near"),
             )
+        if kind == "degrade":
+            return DegradeSite(payload["time"], payload["site"], payload["factor"])
+        if kind == "restore":
+            return RestoreSite(payload["time"], payload["site"])
+        if kind == "flap":
+            return FlapLink(
+                payload["time"],
+                payload["src"],
+                payload["dst"],
+                payload["period"],
+                payload["duty"],
+                payload["cycles"],
+            )
+        if kind == "leave":
+            return LeaveSite(payload["time"], payload["site"])
     except KeyError as exc:
         raise StoreError(f"failure action missing field {exc}") from None
     raise StoreError(f"unknown failure action kind {kind!r}")
@@ -236,6 +276,8 @@ class RecordedTrace:
         if spec.arrival == "open":
             spec_record["rate"] = spec.rate
             spec_record["duration"] = spec.duration
+            if spec.rate_schedule is not None:
+                spec_record["rate_schedule"] = [list(step) for step in spec.rate_schedule]
         lines: list[dict[str, Any]] = [
             {
                 "type": "header",
@@ -293,6 +335,10 @@ class RecordedTrace:
         try:
             spec_fields = dict(header["spec"])
             spec_fields["footprint"] = tuple(spec_fields["footprint"])
+            if spec_fields.get("rate_schedule") is not None:
+                spec_fields["rate_schedule"] = tuple(
+                    (offset, rate) for offset, rate in spec_fields["rate_schedule"]
+                )
             trace = cls(
                 driver=header["driver"],
                 protocol=header["protocol"],

@@ -86,8 +86,8 @@ class _RecordingWorkload:
         self._log.updates.append((origin, dict(writes)))
         return origin, writes
 
-    def next_gap(self, rng):
-        gap = self._inner.next_gap(rng)
+    def next_gap(self, rng, now=None):
+        gap = self._inner.next_gap(rng, now)
         self._log.gaps.append(gap)
         return gap
 
@@ -164,6 +164,7 @@ def record_open_loop_service(
     replication: int = 3,
     window: int = 4,
     workload: WorkloadSpec | None = None,
+    failures=None,
 ) -> RecordedTrace:
     """Run one E26 open-loop service interval and harvest the trace.
 
@@ -173,6 +174,11 @@ def record_open_loop_service(
     replays bit-for-bit regardless of admission outcomes.  The
     admission ``window`` rides in ``params`` because it shapes the run
     but is not part of the workload spec.
+
+    ``failures`` passes an explicit :class:`~repro.sim.failures.FailurePlan`
+    through to the service (gray-failure plans included — the artifact
+    codec round-trips degrade/flap/leave actions), overriding the
+    driver's default crash episode.
     """
     from repro.experiments.service_study import run_open_loop_service
 
@@ -196,6 +202,7 @@ def record_open_loop_service(
         replication=replication,
         window=window,
         workload=recording,
+        failures=failures,
         probe=probe,
     )
     return RecordedTrace(

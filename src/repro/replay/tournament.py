@@ -146,21 +146,27 @@ def project_plan(actions, sites: set[int]):
     left is skipped — every survivor would be an implicit singleton,
     which the recorded event never meant).  Heals and joins of new
     sites survive; a join whose ``near`` anchor was removed re-anchors
-    to ``None``.
+    to ``None``.  Gray actions project like their fail-stop cousins:
+    degrade/restore/leave of a removed site are dropped, and a flap of
+    a removed endpoint is dropped whole (its link never exists).
     """
     from repro.sim.failures import (
         CrashSite,
+        DegradeSite,
         FailurePlan,
+        FlapLink,
         HealNetwork,
         JoinSite,
+        LeaveSite,
         PartitionNetwork,
         RecoverSite,
+        RestoreSite,
         SetLinkLoss,
     )
 
     plan = FailurePlan()
     for action in actions:
-        if isinstance(action, (CrashSite, RecoverSite)):
+        if isinstance(action, (CrashSite, RecoverSite, DegradeSite, RestoreSite, LeaveSite)):
             if action.site in sites:
                 plan.actions.append(action)
         elif isinstance(action, PartitionNetwork):
@@ -171,7 +177,7 @@ def project_plan(actions, sites: set[int]):
             )
             if groups:
                 plan.actions.append(PartitionNetwork(action.time, groups))
-        elif isinstance(action, SetLinkLoss):
+        elif isinstance(action, (SetLinkLoss, FlapLink)):
             if action.src in sites and action.dst in sites:
                 plan.actions.append(action)
         elif isinstance(action, JoinSite):

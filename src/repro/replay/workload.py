@@ -104,8 +104,10 @@ class RecordedWorkload:
         self._update_cursor += 1
         return origin, dict(writes)
 
-    def next_gap(self, rng: random.Random) -> float:
-        """The next recorded open-loop gap (``rng`` untouched).
+    def next_gap(self, rng: random.Random, now: float | None = None) -> float:
+        """The next recorded open-loop gap (``rng`` and ``now`` untouched —
+        a recorded stream replays its gaps verbatim, so a rate schedule
+        that shaped them at record time needs no clock at replay time).
 
         Exhaustion returns ``inf`` rather than raising: a replay under
         an *alternative* configuration can offer more arrivals than the

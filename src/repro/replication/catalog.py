@@ -71,12 +71,13 @@ class ItemConfig:
 class ReplicaCatalog:
     """Map of items to their placement and quorum sizes.
 
-    Immutable in normal operation — every layer reads it live.  The one
-    sanctioned mutation is :meth:`admit_site` (elastic membership): a
-    site joining mid-run adds copies, and because the protocol engines
-    and quorum planners all hold *this* object, they see the enlarged
-    placement the moment it lands — a joined site is simply a new
-    reachable participant.
+    Immutable in normal operation — every layer reads it live.  The
+    sanctioned mutations are :meth:`admit_site` and :meth:`evict_site`
+    (elastic membership): a site joining mid-run adds copies, a site
+    leaving gracefully sheds them, and because the protocol engines and
+    quorum planners all hold *this* object, they see the new placement
+    the moment it lands — a joined site is simply a new reachable
+    participant, a departed one simply stops being enlisted.
     """
 
     def __init__(self, items: Iterable[ItemConfig]) -> None:
@@ -212,6 +213,56 @@ class ReplicaCatalog:
             candidate.validate()
             updated[item] = candidate
         self._items.update(updated)
+
+    def evict_site(self, site: int, rebalance: bool = True) -> dict[str, int]:
+        """Remove a leaving site's copies from every item, in place.
+
+        The dual of :meth:`admit_site` (graceful decommission): each
+        item the site hosts sheds that copy's votes, and with
+        ``rebalance=True`` (default) the quorums are re-derived
+        majority-style over the shrunken vote total (``w = v//2 + 1``,
+        ``r = v - w + 1``) — the same hand-off arithmetic a join uses,
+        run in reverse.  With ``rebalance=False`` the old quorums are
+        kept and re-validated, so the eviction is rejected when the
+        remaining votes can no longer satisfy them.
+
+        Validation runs *before* any item is touched: an eviction that
+        would leave some item with no copies at all (the departing site
+        held the only one) raises and leaves the catalog unchanged.
+
+        Returns:
+            the evicted copies as ``{item: votes}`` — what the site
+            handed off, for the caller's bookkeeping.
+
+        Raises:
+            ConfigurationError: an item would lose its last copy, or
+                (``rebalance=False``) the shrunken votes break the
+                quorum constraints.
+        """
+        updated: dict[str, ItemConfig] = {}
+        evicted: dict[str, int] = {}
+        for item in sorted(self._items):
+            config = self._items[item]
+            if site not in config.copies:
+                continue
+            new_copies = {s: v for s, v in config.copies.items() if s != site}
+            if not new_copies:
+                raise ConfigurationError(
+                    f"site {site} holds the only copy of {item!r}; "
+                    "cannot evict without losing the item"
+                )
+            v = sum(new_copies.values())
+            if rebalance:
+                w = v // 2 + 1
+                r = v - w + 1
+            else:
+                r, w = config.read_quorum, config.write_quorum
+            candidate = ItemConfig(item, new_copies, r, w)
+            candidate.validate()
+            updated[item] = candidate
+            evicted[item] = config.copies[site]
+        self._items.update(updated)
+        return evicted
 
 
 class CatalogBuilder:

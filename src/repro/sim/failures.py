@@ -6,6 +6,37 @@ schedule of such faults declaratively; :class:`FailureInjector` arms the
 schedule on a scheduler and applies each fault to the network / site
 registry at its virtual time.
 
+The full fault model, fail-stop and gray:
+
+=================  ==========  ====================================
+action             class       effect
+=================  ==========  ====================================
+``CrashSite``      fail-stop   site down: volatile state lost,
+                               timers cancelled, messages dropped
+``RecoverSite``    fail-stop   site back up via WAL replay
+``PartitionNetwork``  fail-stop  disjoint components; cross-component
+                               messages dropped
+``HealNetwork``    fail-stop   all partitions and link loss removed
+``SetLinkLoss``    gray        directed link drops messages with
+                               probability ``p`` (``p=1``: severed)
+``DegradeSite``    gray        site slow-but-alive: a multiplicative
+                               latency overlay on every message the
+                               site sends or receives
+``RestoreSite``    gray        degradation overlay removed
+``FlapLink``       gray        deterministic sever/heal oscillation
+                               of one directed link
+``JoinSite``       membership  brand-new site registered, catalog
+                               rebalanced (elastic scale-out)
+``LeaveSite``      membership  graceful decommission: drain in-flight
+                               txns, hand quorum votes off, deregister
+=================  ==========  ====================================
+
+Fail-stop actions silence a site or a cut entirely; gray actions keep
+everything *alive but wrong* — slow sites, flapping links, lossy paths —
+which is where commit protocols actually spend their bad days.
+Membership actions need the database layer, so the injector delegates
+them to a handler the cluster wires in.
+
 Keeping the plan declarative (a list of timestamped actions) lets the
 experiment harness generate random fault schedules from a seed, print
 them alongside results, and replay any interesting one exactly.
@@ -93,8 +124,75 @@ class JoinSite:
     near: int | None = None
 
 
+@dataclass(frozen=True)
+class DegradeSite:
+    """From ``time`` on, stretch ``site``'s message latency by ``factor``.
+
+    A gray failure: the site stays alive and keeps voting, but every
+    message it sends or receives samples its delivery delay as usual and
+    is then multiplied by ``factor`` (factors compose multiplicatively
+    when both endpoints are degraded).  ``factor=1.0`` is an exact no-op;
+    local (self) deliveries stay immediate.
+    """
+
+    time: float
+    site: int
+    factor: float
+
+
+@dataclass(frozen=True)
+class RestoreSite:
+    """Remove ``site``'s latency-degradation overlay at ``time``."""
+
+    time: float
+    site: int
+
+
+@dataclass(frozen=True)
+class FlapLink:
+    """Oscillate the directed link ``src -> dst`` between severed and healed.
+
+    Starting at ``time``, the link is severed for ``duty * period``
+    virtual seconds of every ``period``-second cycle, for ``cycles``
+    cycles, then left healed.  The oscillation rides handle-free
+    ``call_fixed`` entries computed up front, so a replayed plan
+    reproduces the exact same sever/heal edge times.
+    """
+
+    time: float
+    src: int
+    dst: int
+    period: float
+    duty: float = 0.5
+    cycles: int = 3
+
+
+@dataclass(frozen=True)
+class LeaveSite:
+    """Gracefully decommission ``site`` at ``time``.
+
+    The dual of :class:`JoinSite`: the site drains its in-flight
+    transactions, hands its quorum votes off through the catalog's
+    rebalance machinery, then deregisters from the network.  Unlike a
+    crash, no state is lost and counters record a *leave*, not a
+    failure.  Needs the membership handler, like joins.
+    """
+
+    time: float
+    site: int
+
+
 FailureAction = (
-    CrashSite | RecoverSite | PartitionNetwork | HealNetwork | SetLinkLoss | JoinSite
+    CrashSite
+    | RecoverSite
+    | PartitionNetwork
+    | HealNetwork
+    | SetLinkLoss
+    | JoinSite
+    | DegradeSite
+    | RestoreSite
+    | FlapLink
+    | LeaveSite
 )
 
 
@@ -152,6 +250,34 @@ class FailurePlan:
         self.actions.append(JoinSite(time, site, frozen, near))
         return self
 
+    def degrade(self, time: float, site: int, factor: float) -> "FailurePlan":
+        """Append a gray slow-site degradation; returns self for chaining."""
+        self.actions.append(DegradeSite(time, site, factor))
+        return self
+
+    def restore(self, time: float, site: int) -> "FailurePlan":
+        """Append a degradation removal; returns self for chaining."""
+        self.actions.append(RestoreSite(time, site))
+        return self
+
+    def flap(
+        self,
+        time: float,
+        src: int,
+        dst: int,
+        period: float,
+        duty: float = 0.5,
+        cycles: int = 3,
+    ) -> "FailurePlan":
+        """Append a deterministic link flap; returns self for chaining."""
+        self.actions.append(FlapLink(time, src, dst, period, duty, cycles))
+        return self
+
+    def leave(self, time: float, site: int) -> "FailurePlan":
+        """Append a graceful site decommission; returns self for chaining."""
+        self.actions.append(LeaveSite(time, site))
+        return self
+
     def __len__(self) -> int:
         return len(self.actions)
 
@@ -172,18 +298,19 @@ class FailureInjector:
         self,
         scheduler: "Scheduler",
         network: "Network",
-        membership: Callable[[JoinSite], None] | None = None,
+        membership: Callable[[JoinSite | LeaveSite], None] | None = None,
     ) -> None:
         """Wire the injector.
 
         Args:
             scheduler: the run's scheduler.
             network: the network facade faults apply to.
-            membership: handler for :class:`JoinSite` actions (joins
-                build database state the network knows nothing about;
+            membership: handler for :class:`JoinSite` / :class:`LeaveSite`
+                actions (membership changes build or drain database
+                state the network knows nothing about;
                 :class:`~repro.db.cluster.Cluster` passes its
-                ``join_site``).  Plans containing joins fail to apply
-                without one.
+                dispatcher).  Plans containing membership actions fail
+                to apply without one.
         """
         self._scheduler = scheduler
         self._network = network
@@ -214,13 +341,47 @@ class FailureInjector:
             net.heal()
         elif isinstance(action, SetLinkLoss):
             net.set_link_loss(action.src, action.dst, action.p)
-        elif isinstance(action, JoinSite):
+        elif isinstance(action, DegradeSite):
+            net.degrade_site(action.site, action.factor)
+        elif isinstance(action, RestoreSite):
+            net.restore_site(action.site)
+        elif isinstance(action, FlapLink):
+            self._start_flap(action)
+        elif isinstance(action, (JoinSite, LeaveSite)):
             if self._membership is None:
                 raise TypeError(
-                    "JoinSite actions need a membership handler; arm the plan "
-                    "through a Cluster (or pass membership= to the injector)"
+                    f"{type(action).__name__} actions need a membership handler; "
+                    "arm the plan through a Cluster (or pass membership= to "
+                    "the injector)"
                 )
             self._membership(action)
         else:  # pragma: no cover - exhaustive
             raise TypeError(f"unknown failure action {action!r}")
         self.applied.append(action)
+
+    def _start_flap(self, action: FlapLink) -> None:
+        """Schedule the whole sever/heal oscillation up front.
+
+        All edges ride ``call_fixed`` at precomputed absolute times, so
+        the flap is a pure function of the action — bounded (``cycles``
+        cycles then healed for good) and byte-identical on replay.  The
+        first sever fires via the scheduler too (never inline), keeping
+        event ordering independent of when the plan was armed.
+        """
+        if action.period <= 0:
+            raise ValueError(f"flap period must be positive, got {action.period}")
+        if not 0.0 < action.duty <= 1.0:
+            raise ValueError(f"flap duty must be in (0, 1], got {action.duty}")
+        if action.cycles < 1:
+            raise ValueError(f"flap cycles must be >= 1, got {action.cycles}")
+        net = self._network
+        for k in range(action.cycles):
+            start = action.time + k * action.period
+            self._scheduler.call_fixed(start, net.set_link_loss, action.src, action.dst, 1.0)
+            self._scheduler.call_fixed(
+                start + action.duty * action.period,
+                net.set_link_loss,
+                action.src,
+                action.dst,
+                0.0,
+            )

@@ -12,6 +12,7 @@ from repro.traffic.engine import TrafficEngine, WorkloadResult, tally_stream
 from repro.traffic.open_loop import (
     DEFAULT_BINS,
     DEFAULT_WINDOW,
+    AdaptiveWindow,
     OpenLoopResult,
     RampResult,
     latency_summary,
@@ -22,6 +23,7 @@ from repro.traffic.open_loop import (
 __all__ = [
     "DEFAULT_BINS",
     "DEFAULT_WINDOW",
+    "AdaptiveWindow",
     "OpenLoopResult",
     "RampResult",
     "TrafficEngine",

@@ -129,10 +129,15 @@ class TrafficEngine:
     scheduler sequence numbers, so event tie-breaking is unchanged.
     """
 
-    def __init__(self, cluster: "Cluster", compiled, rng) -> None:
+    def __init__(self, cluster: "Cluster", compiled, rng, retry=None) -> None:
         self.cluster = cluster
         self.compiled = compiled
         self.rng = rng
+        #: client retry policy for the interactive submit path (an
+        #: :class:`~repro.engine.resilience.RetryPolicy` or ``None``).
+        #: ``None`` — and ``max_attempts=1`` — are byte-identical to
+        #: the historical no-retry client.
+        self.retry = retry
         #: client-side outcome per transaction (``"read-committed"`` /
         #: ``"client-aborted"``; protocol verdicts fill in at tally).
         self.outcomes: dict[str, str] = {}
@@ -140,14 +145,46 @@ class TrafficEngine:
         self.handles: dict[str, object] = {}
         #: the direct-submit policy's admission tallies (E24 shape).
         self.tallies: dict[str, int] = {"submitted": 0, "refused": 0, "cross_origin": 0}
+        #: interactive re-submissions performed under :attr:`retry`.
+        self.retry_attempts = 0
+        #: what the last ``_submit_op`` call decided (client-visible
+        #: status; plain attribute writes, so the historical drivers'
+        #: counters are untouched).
+        self.last_outcome: str | None = None
 
     # ------------------------------------------------------------------
     # submit policies
     # ------------------------------------------------------------------
 
     def submit_interactive(self, index: int) -> None:
-        """One interactive client submission (the E18 policy)."""
-        self._submit_op(self.compiled.next_op(self.rng))
+        """One interactive client submission (the E18 policy).
+
+        With a :attr:`retry` policy set, a client-aborted attempt is
+        re-submitted as the *same already-drawn op* after the policy's
+        deterministic capped backoff on the virtual clock — retries draw
+        nothing from the workload generator, so the offered stream stays
+        a pure function of the seed whether retries are on or off.
+        """
+        op = self.compiled.next_op(self.rng)
+        if self.retry is None or self.retry.max_attempts <= 1:
+            self._submit_op(op)
+            return
+        self._submit_attempt(op, 1)
+
+    def _submit_attempt(self, op, attempt: int) -> None:
+        """Submit ``op``; on a client abort, schedule the next attempt.
+
+        The client-abort verdict is synchronous (lock conflicts and
+        missing quorums surface at submit time), so the backoff delay
+        doubles as the client's retry timeout — attempt ``k+1`` fires
+        ``retry.delay(k)`` virtual seconds after attempt ``k`` failed.
+        """
+        self._submit_op(op)
+        if self.last_outcome == "client-aborted" and attempt < self.retry.max_attempts:
+            self.retry_attempts += 1
+            self.cluster.scheduler.call_fixed_after(
+                self.retry.delay(attempt), self._submit_attempt, op, attempt + 1
+            )
 
     def _submit_op(self, op):
         """Submit one already-drawn :class:`WorkloadOp`; returns the
@@ -156,9 +193,17 @@ class TrafficEngine:
         Split from :meth:`submit_interactive` so the open-loop admission
         path can draw the op first (it needs the origin to check the
         in-flight window) and submit the identical way afterwards.
+        Sets :attr:`last_outcome` either way, so callers can tell the
+        ``None`` cases apart (read commit / client abort / unreachable
+        origin).
         """
         cluster = self.cluster
         if op.origin not in cluster.sites or not cluster.sites[op.origin].alive:
+            # the origin left, crashed, or never existed: the op is
+            # offered but undeliverable.  Tallied only when it happens,
+            # so historical payloads stay byte-stable.
+            self.tallies["unreachable_origin"] = self.tallies.get("unreachable_origin", 0) + 1
+            self.last_outcome = "unreachable"
             return None
         txn = cluster.transaction(op.origin)
         try:
@@ -167,6 +212,7 @@ class TrafficEngine:
                     txn.read(item)
                 txn.submit()  # read-only: client-side commit
                 self.outcomes[txn.txn] = "read-committed"
+                self.last_outcome = "read-committed"
                 return None
             for item in op.items:
                 value = txn.read(item)
@@ -174,12 +220,15 @@ class TrafficEngine:
             handle = txn.submit()
         except TransactionAborted:
             self.outcomes[txn.txn] = "client-aborted"
+            self.last_outcome = "client-aborted"
             return None
         except QuorumUnreachableError:
             txn.abort()
             self.outcomes[txn.txn] = "client-aborted"
+            self.last_outcome = "client-aborted"
             return None
         self.handles[handle.txn] = handle
+        self.last_outcome = "submitted"
         return handle
 
     def submit_direct(self, index: int) -> None:
@@ -193,6 +242,7 @@ class TrafficEngine:
         cluster = self.cluster
         origin, writes = self.compiled.next_update(self.rng)
         if origin not in cluster.sites or not cluster.sites[origin].alive:
+            self.tallies["unreachable_origin"] = self.tallies.get("unreachable_origin", 0) + 1
             return
         first = next(iter(writes))
         remote = origin not in self.compiled.catalog.sites_of(first)

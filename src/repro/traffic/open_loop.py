@@ -27,6 +27,12 @@ way on the virtual clock:
 * **throughput-ceiling discovery** — :func:`ramp` steps the arrival
   rate across a schedule until the p99 knee or the abort-rate
   threshold trips, and reports the last sustainable rate.
+* **adaptive admission** (:class:`AdaptiveWindow`, default off) — the
+  graceful-degradation arm: a periodic retuning event compares the
+  streaming p99 against a target SLO and widens or narrows the
+  per-site window one step at a time, with a hysteresis dead band so
+  the controller does not chatter around the target.  Off (``None``),
+  the admission path is byte-identical to the fixed-window service.
 
 Everything runs on the deterministic virtual clock with draws from the
 caller's RNG, so open-loop results are byte-identical across repeated
@@ -47,6 +53,41 @@ DEFAULT_WINDOW = 4
 
 #: default latency digest layout: [0, hi) split into this many bins.
 DEFAULT_BINS = 64
+
+
+@dataclass(frozen=True)
+class AdaptiveWindow:
+    """Adaptive admission-window policy (graceful degradation).
+
+    Every ``interval`` virtual seconds the controller reads the p99 of
+    the latencies folded *since its last reading* (a windowed tail, so
+    a past surge cannot pin the controller forever) and moves the
+    per-site window one step: above ``target_p99 * (1 + hysteresis)``
+    it narrows (shed earlier, protect the tail), below
+    ``target_p99 * (1 - hysteresis)`` it widens (admit more, use the
+    headroom).  Inside the dead band — or over an interval with no
+    decided latencies — it holds; the hysteresis is what keeps the
+    controller from oscillating when p99 sits near the target.  The
+    window is clamped to ``[low, high]``.
+    """
+
+    target_p99: float
+    low: int = 1
+    high: int = 16
+    interval: float = 10.0
+    hysteresis: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.target_p99 <= 0:
+            raise ValueError(f"target_p99 must be positive, got {self.target_p99}")
+        if not 1 <= self.low <= self.high:
+            raise ValueError(
+                f"need 1 <= low <= high, got low={self.low} high={self.high}"
+            )
+        if self.interval <= 0:
+            raise ValueError(f"interval must be positive, got {self.interval}")
+        if not 0.0 <= self.hysteresis < 1.0:
+            raise ValueError(f"hysteresis {self.hysteresis} outside [0, 1)")
 
 
 @dataclass
@@ -78,6 +119,12 @@ class OpenLoopResult:
     #: the full digest state (exact bin counts), mergeable across runs
     #: via :meth:`~repro.engine.aggregate.QuantileDigest.absorb`.
     digest_state: dict[str, Any] = field(default_factory=dict)
+    #: adaptive-admission trajectory (``None`` unless an
+    #: :class:`AdaptiveWindow` drove the run; counters stay conditional
+    #: so fixed-window payloads are byte-stable).
+    window_final: int | None = None
+    window_widened: int = 0
+    window_narrowed: int = 0
 
     @property
     def sustained_throughput(self) -> float:
@@ -98,7 +145,7 @@ class OpenLoopResult:
 
     def counters(self) -> dict[str, Any]:
         """Flat deterministic tallies (the bench-baseline fingerprint)."""
-        return {
+        out = {
             "offered": self.offered,
             "admitted": self.admitted,
             "shed_backpressure": self.shed_backpressure,
@@ -114,6 +161,13 @@ class OpenLoopResult:
             "latency_p99": self.latency.get("p99", 0.0),
             "latency_p999": self.latency.get("p999", 0.0),
         }
+        if self.window_final is not None:
+            # adaptive runs only: fixed-window fingerprints never carry
+            # these keys, so historical payloads stay byte-stable.
+            out["window_final"] = self.window_final
+            out["window_widened"] = self.window_widened
+            out["window_narrowed"] = self.window_narrowed
+        return out
 
     def format_row(self) -> str:
         """One aligned summary line for service tables."""
@@ -151,6 +205,7 @@ def run_open_loop(
     window: int = DEFAULT_WINDOW,
     latency_hi: float = 60.0,
     bins: int = DEFAULT_BINS,
+    adapt: AdaptiveWindow | None = None,
     probe: Callable[[Any], None] | None = None,
 ) -> OpenLoopResult:
     """Drive the engine's stream as an open-loop service.
@@ -163,9 +218,14 @@ def run_open_loop(
     Args:
         engine: the traffic engine (cluster + compiled stream + rng).
         protocol: protocol name for the result row.
-        window: per-site in-flight admission window (>= 1).
+        window: per-site in-flight admission window (>= 1; the
+            *starting* window under an adaptive policy).
         latency_hi: latency digest upper bound (virtual seconds).
         bins: latency digest bin count.
+        adapt: optional :class:`AdaptiveWindow` policy — retunes the
+            window against the streaming p99 every ``adapt.interval``
+            seconds.  ``None`` (default) keeps the fixed window and a
+            byte-identical event sequence.
         probe: sees the finished cluster before the result is
             assembled (the benchmark harness harvests counters here).
     """
@@ -185,6 +245,12 @@ def run_open_loop(
     #: digest's min/max fold and break run-to-run determinism).
     in_flight: dict[int, dict[str, float]] = {}
     counters = {"offered": 0, "admitted": 0, "shed_backpressure": 0, "shed_unreachable": 0}
+    #: the live admission window — a one-cell box so the arrival
+    #: closure and the adaptive controller share it.  Without an
+    #: adaptive policy nothing ever writes it, so the fixed-window
+    #: behavior is unchanged.
+    window_box = {"window": min(max(window, adapt.low), adapt.high) if adapt else window}
+    adaptive = {"widened": 0, "narrowed": 0}
 
     tracer = cluster.tracer
 
@@ -210,15 +276,42 @@ def run_open_loop(
         pending = in_flight.setdefault(op.origin, {})
         if op.origin not in cluster.sites or not cluster.sites[op.origin].alive:
             counters["shed_unreachable"] += 1
-        elif len(pending) >= window:
+        elif len(pending) >= window_box["window"]:
             counters["shed_backpressure"] += 1
         else:
             counters["admitted"] += 1
             handle = engine._submit_op(op)
             if handle is not None:
                 pending[handle.txn] = scheduler.now
-        gap = engine.compiled.next_gap(rng)
+        gap = engine.compiled.next_gap(rng, scheduler.now)
         scheduler.call_fixed_until(scheduler.now + gap, deadline, arrive)
+
+    if adapt is not None:
+        #: digest snapshot at the last retune, so each reading sees only
+        #: the latencies folded during its own interval
+        seen = {"n": 0, "counts": [0] * digest.bins}
+
+        def retune() -> None:
+            recent_n = digest.n - seen["n"]
+            if recent_n:
+                recent = QuantileDigest(digest.lo, digest.hi, digest.bins)
+                recent.n = recent_n
+                recent.counts = [
+                    count - prior for count, prior in zip(digest.counts, seen["counts"])
+                ]
+                seen["n"] = digest.n
+                seen["counts"] = list(digest.counts)
+                p99 = recent.quantile(0.99)
+                cur = window_box["window"]
+                if p99 > adapt.target_p99 * (1.0 + adapt.hysteresis) and cur > adapt.low:
+                    window_box["window"] = cur - 1
+                    adaptive["narrowed"] += 1
+                elif p99 < adapt.target_p99 * (1.0 - adapt.hysteresis) and cur < adapt.high:
+                    window_box["window"] = cur + 1
+                    adaptive["widened"] += 1
+            scheduler.call_fixed_until(scheduler.now + adapt.interval, deadline, retune)
+
+        scheduler.call_fixed_until(spec.start + adapt.interval, deadline, retune)
 
     scheduler.call_fixed_until(spec.start, deadline, arrive)
     cluster.run()
@@ -243,6 +336,9 @@ def run_open_loop(
         readable_fraction=base.readable_fraction,
         latency=latency_summary(digest),
         digest_state=digest.state(),
+        window_final=window_box["window"] if adapt is not None else None,
+        window_widened=adaptive["widened"],
+        window_narrowed=adaptive["narrowed"],
     )
 
 

@@ -150,6 +150,15 @@ class WorkloadSpec:
             required iff ``arrival="open"``.
         duration: open-loop stream length in virtual seconds; required
             iff ``arrival="open"``.
+        rate_schedule: optional piecewise-constant λ(t) for open
+            arrivals, as ``((offset, rate), ...)`` steps — ``offset``
+            is virtual seconds since ``start``, the first step must
+            begin at 0.0, and each step's rate holds until the next
+            offset (the last holds to the end).  Enables flash crowds:
+            ``((0.0, 1.0), (40.0, 6.0), (55.0, 1.0))`` is a base load
+            with a 15-second spike.  ``None`` (default) keeps the
+            constant-``rate`` stream — and its draw sequence —
+            untouched.
         cross_region: probability an operation originates in a region
             hosting *no copy* of its first item — cross-region quorum
             traffic.  Requires ``regions`` at compile time; 0 disables
@@ -175,6 +184,7 @@ class WorkloadSpec:
     sampler: str = "scan"
     rate: float | None = None
     duration: float | None = None
+    rate_schedule: tuple[tuple[float, float], ...] | None = None
 
     def __post_init__(self) -> None:
         if self.n_txns < 1:
@@ -226,6 +236,28 @@ class WorkloadSpec:
                 "rate/duration only apply to arrival='open', "
                 f"got arrival={self.arrival!r}"
             )
+        if self.rate_schedule is not None:
+            if self.arrival != "open":
+                raise ConfigurationError(
+                    "rate_schedule only applies to arrival='open', "
+                    f"got arrival={self.arrival!r}"
+                )
+            steps = tuple((float(t), float(r)) for t, r in self.rate_schedule)
+            if not steps:
+                raise ConfigurationError("rate_schedule cannot be empty")
+            if steps[0][0] != 0.0:
+                raise ConfigurationError(
+                    f"rate_schedule must start at offset 0.0, got {steps[0][0]}"
+                )
+            for (t0, _), (t1, _) in zip(steps, steps[1:]):
+                if t1 <= t0:
+                    raise ConfigurationError(
+                        "rate_schedule offsets must be strictly increasing, "
+                        f"got {t0} then {t1}"
+                    )
+            if any(r <= 0 for _, r in steps):
+                raise ConfigurationError("rate_schedule rates must be positive")
+            object.__setattr__(self, "rate_schedule", steps)
 
     def compile(
         self,
@@ -251,6 +283,9 @@ class WorkloadSpec:
         parts.append(f"footprint={self.footprint[0]}-{self.footprint[1]}")
         if self.arrival == "open":
             parts.append(f"open@{self.rate:g}/s x{self.duration:g}s")
+            if self.rate_schedule is not None:
+                peak = max(r for _, r in self.rate_schedule)
+                parts.append(f"λ(t)[{len(self.rate_schedule)} steps, peak {peak:g}/s]")
         else:
             parts.append(f"{self.arrival}@{self.mean_spacing:g}")
         if self.cross_region:
@@ -328,19 +363,44 @@ class CompiledWorkload:
             )
         return [spec.start + i * spec.mean_spacing for i in range(spec.n_txns)]
 
-    def next_gap(self, rng: random.Random) -> float:
+    def next_gap(self, rng: random.Random, now: float | None = None) -> float:
         """The next open-loop inter-arrival gap (one ``expovariate``).
 
         Only meaningful for ``arrival="open"`` specs: the open-loop
         engine draws one gap per arrival event, so the offered stream
         is rate-driven and duration-bounded rather than op-counted.
+
+        With a ``rate_schedule``, ``now`` (the current virtual time)
+        selects the step whose rate governs this draw — piecewise-
+        constant λ(t) sampled at the arrival instant.  Without one the
+        draw is the historical ``expovariate(rate)`` regardless of
+        ``now``, so constant-rate streams are byte-identical whether or
+        not the caller passes the clock.
         """
         spec = self.spec
         if spec.arrival != "open":
             raise ConfigurationError(
                 f"next_gap needs arrival='open', got {spec.arrival!r}"
             )
-        return rng.expovariate(spec.rate)
+        if spec.rate_schedule is None:
+            return rng.expovariate(spec.rate)
+        elapsed = 0.0 if now is None else max(0.0, now - spec.start)
+        return rng.expovariate(self.rate_at(elapsed))
+
+    def rate_at(self, elapsed: float) -> float:
+        """The scheduled arrival rate ``elapsed`` seconds into the stream.
+
+        Returns the constant ``rate`` when no schedule is set.
+        """
+        spec = self.spec
+        if spec.rate_schedule is None:
+            return spec.rate
+        rate = spec.rate_schedule[0][1]
+        for offset, step_rate in spec.rate_schedule:
+            if offset > elapsed:
+                break
+            rate = step_rate
+        return rate
 
     # ------------------------------------------------------------------
     # item / origin selection

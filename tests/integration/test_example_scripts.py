@@ -47,6 +47,9 @@ class TestExampleScripts:
     def test_open_loop_service(self):
         run_script(f"{EXAMPLES}/open_loop_service.py")
 
+    def test_rolling_upgrade(self):
+        run_script(f"{EXAMPLES}/rolling_upgrade.py")
+
     def test_parallel_sweep(self, tmp_path, monkeypatch):
         # chdir so the example's ResultStore("results") lands in tmp
         import os

@@ -43,6 +43,9 @@ QUICK_CASES = [
     "elastic_join",
     "open_loop_service",
     "ramp_ceiling",
+    "rolling_upgrade",
+    "flash_crowd",
+    "gray_failure",
     "lock_probe",
     "net_fanout_flyweight",
     "zipf_sampling",

@@ -96,6 +96,9 @@ class TestSuite:
             "elastic_join",
             "open_loop_service",
             "ramp_ceiling",
+            "rolling_upgrade",
+            "flash_crowd",
+            "gray_failure",
             "lock_probe",
             "net_deliver_fanout",
             "wal_append",

@@ -11,24 +11,25 @@ import pytest
 
 from repro.common.errors import ConfigurationError
 from repro.db.cluster import Cluster
+from repro.engine.resilience import RetryPolicy
 from repro.experiments.service_study import (
     discover_ceiling,
     run_open_loop_service,
     service_failure_plan,
 )
 from repro.sim.rng import RngRegistry
-from repro.traffic import OpenLoopResult, TrafficEngine, ramp
+from repro.traffic import AdaptiveWindow, OpenLoopResult, TrafficEngine, ramp
 from repro.workload.generators import random_catalog
 from repro.workload.spec import WorkloadSpec
 
 
-def _engine(seed=0, protocol="qtp1", spec=None, n_sites=6, n_items=4):
+def _engine(seed=0, protocol="qtp1", spec=None, n_sites=6, n_items=4, retry=None):
     rng = RngRegistry(seed).stream("traffic-test")
     catalog = random_catalog(rng, n_sites=n_sites, n_items=n_items, replication=3)
     cluster = Cluster(catalog, protocol=protocol, seed=seed)
     if spec is None:
         spec = WorkloadSpec(n_txns=12, arrival="fixed", mean_spacing=2.0)
-    return TrafficEngine(cluster, spec.compile(catalog), rng)
+    return TrafficEngine(cluster, spec.compile(catalog), rng, retry=retry)
 
 
 class TestClosedLoop:
@@ -164,6 +165,106 @@ class TestOpenLoop:
             probe=lambda cluster: seen.update(events=cluster.scheduler.events_run),
         )
         assert seen["events"] > 0
+
+
+class TestRetryingClient:
+    CONTENDED = WorkloadSpec(n_txns=30, mean_spacing=0.3)
+    POLICY = RetryPolicy(max_attempts=3, backoff=0.5, backoff_cap=2.0)
+
+    def test_delay_is_capped_exponential(self):
+        policy = RetryPolicy(max_attempts=4, backoff=0.5, backoff_cap=1.5)
+        assert [policy.delay(k) for k in (1, 2, 3)] == [0.5, 1.0, 1.5]
+        assert RetryPolicy(max_attempts=4, backoff=0.0).delay(2) == 0.0
+
+    def test_client_aborts_are_resubmitted(self):
+        engine = _engine(spec=self.CONTENDED, retry=self.POLICY)
+        outcomes, handles = engine.run_closed()
+        client_aborted = sum(1 for o in outcomes.values() if o == "client-aborted")
+        assert engine.retry_attempts > 0
+        # every re-submission was provoked by a client abort, and the
+        # accounting covers attempts, not just first submissions
+        assert engine.retry_attempts <= client_aborted
+        assert len(outcomes) + len(handles) >= self.CONTENDED.n_txns
+
+    def test_retrying_runs_are_deterministic(self):
+        def fingerprint():
+            engine = _engine(seed=5, spec=self.CONTENDED, retry=self.POLICY)
+            outcomes, handles = engine.run_closed()
+            return (dict(outcomes), len(handles), engine.retry_attempts)
+
+        assert fingerprint() == fingerprint()
+
+    def test_retries_draw_nothing_from_the_workload_stream(self):
+        # the retried op is re-submitted as-is: a retrying run generates
+        # the same op stream as the no-retry run, so the committed
+        # histories diverge only in scheduling, never in content
+        plain = _engine(seed=5, spec=self.CONTENDED)
+        plain.run_closed()
+        retrying = _engine(seed=5, spec=self.CONTENDED, retry=self.POLICY)
+        retrying.run_closed()
+        assert retrying.rng.getstate() == plain.rng.getstate()
+
+
+class TestAdaptiveWindow:
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError, match="target_p99"):
+            AdaptiveWindow(target_p99=0.0)
+        with pytest.raises(ValueError, match="low <= high"):
+            AdaptiveWindow(target_p99=1.0, low=4, high=2)
+        with pytest.raises(ValueError, match="interval"):
+            AdaptiveWindow(target_p99=1.0, interval=0.0)
+        with pytest.raises(ValueError, match="hysteresis"):
+            AdaptiveWindow(target_p99=1.0, hysteresis=1.0)
+
+    def test_none_keeps_historical_counters(self):
+        fixed = run_open_loop_service(
+            "qtp1", seed=2, rate=1.2, duration=30.0, episode_window=None
+        )
+        assert "window_final" not in fixed.counters()
+        assert "window_widened" not in fixed.counters()
+
+    def test_loose_target_widens_the_window(self):
+        # commit latency is protocol-round-bound (seconds); a huge
+        # target leaves the controller below the dead band every
+        # interval, so it widens toward `high`
+        result = run_open_loop_service(
+            "qtp1", seed=2, rate=1.2, duration=60.0, window=2,
+            episode_window=None,
+            adapt=AdaptiveWindow(target_p99=100.0, low=1, high=6, interval=10.0),
+        )
+        counters = result.counters()
+        assert counters["window_widened"] >= 1
+        assert counters.get("window_narrowed", 0) == 0
+        assert counters["window_final"] > 2
+
+    def test_tight_target_narrows_and_sheds(self):
+        result = run_open_loop_service(
+            "qtp1", seed=2, rate=4.0, duration=60.0, window=6,
+            episode_window=None,
+            adapt=AdaptiveWindow(target_p99=0.5, low=1, high=8, interval=10.0),
+        )
+        counters = result.counters()
+        assert counters["window_narrowed"] >= 1
+        assert counters["window_final"] < 6
+        assert result.shed_backpressure > 0
+
+    def test_window_clamped_to_bounds(self):
+        result = run_open_loop_service(
+            "qtp1", seed=2, rate=4.0, duration=90.0, window=2,
+            episode_window=None,
+            adapt=AdaptiveWindow(target_p99=0.5, low=2, high=8, interval=10.0),
+        )
+        assert result.counters()["window_final"] == 2
+
+    def test_adaptive_runs_are_deterministic(self):
+        adapt = AdaptiveWindow(target_p99=3.0, low=1, high=8, interval=10.0)
+        first = run_open_loop_service(
+            "qtp2", seed=6, rate=2.0, duration=50.0, episode_window=None, adapt=adapt
+        )
+        second = run_open_loop_service(
+            "qtp2", seed=6, rate=2.0, duration=50.0, episode_window=None, adapt=adapt
+        )
+        assert first.counters() == second.counters()
 
 
 class TestServiceFailurePlan:

@@ -44,6 +44,61 @@ class TestValidation:
             spec.compile(catalog)
 
 
+class TestRateSchedule:
+    OPEN = dict(arrival="open", rate=1.0, duration=60.0)
+
+    @pytest.mark.parametrize(
+        "schedule",
+        [
+            (),  # empty
+            ((5.0, 1.0),),  # must start at offset 0
+            ((0.0, 1.0), (10.0, 2.0), (10.0, 3.0)),  # offsets not increasing
+            ((0.0, 1.0), (10.0, 0.0)),  # non-positive rate
+        ],
+    )
+    def test_bad_schedules_rejected(self, schedule):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(**self.OPEN, rate_schedule=schedule)
+
+    def test_schedule_rejected_on_closed_specs(self):
+        with pytest.raises(ConfigurationError, match="arrival='open'"):
+            WorkloadSpec(n_txns=5, rate_schedule=((0.0, 1.0),))
+
+    def test_rate_at_is_piecewise_constant(self, catalog):
+        spec = WorkloadSpec(
+            **self.OPEN, rate_schedule=((0.0, 1.0), (40.0, 6.0), (55.0, 1.0))
+        )
+        compiled = spec.compile(catalog)
+        assert compiled.rate_at(0.0) == 1.0
+        assert compiled.rate_at(39.9) == 1.0
+        assert compiled.rate_at(40.0) == 6.0  # step boundary belongs to the step
+        assert compiled.rate_at(54.9) == 6.0
+        assert compiled.rate_at(55.0) == 1.0
+        assert compiled.rate_at(1e9) == 1.0  # last step holds to the end
+
+    def test_rate_at_without_schedule_is_constant(self, catalog):
+        compiled = WorkloadSpec(**self.OPEN).compile(catalog)
+        assert compiled.rate_at(0.0) == compiled.rate_at(1e6) == 1.0
+
+    def test_next_gap_samples_the_scheduled_rate(self, catalog):
+        # the same RNG state must yield a gap `surge_ratio` times
+        # shorter inside the surge: one expovariate at the step's rate
+        spec = WorkloadSpec(
+            **self.OPEN, rate_schedule=((0.0, 1.0), (40.0, 6.0))
+        )
+        compiled = spec.compile(catalog)
+        quiet = compiled.next_gap(random.Random(7), now=10.0)
+        surge = compiled.next_gap(random.Random(7), now=45.0)
+        assert surge == pytest.approx(quiet / 6.0)
+
+    def test_constant_stream_ignores_the_clock(self, catalog):
+        # no schedule: passing `now` must not perturb the draw sequence
+        compiled = WorkloadSpec(**self.OPEN).compile(catalog)
+        with_now = compiled.next_gap(random.Random(7), now=42.0)
+        without = compiled.next_gap(random.Random(7))
+        assert with_now == without
+
+
 class TestLegacyStreamEquivalence:
     """The determinism contract: default shapes replay the historical
     generators draw-for-draw, so E18/E21 trajectories stay pinned."""
